@@ -1,0 +1,276 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per experiment, DESIGN.md E1-E13). Dataset
+// generation is excluded from timing via a shared suite built on first
+// use; BenchmarkStudyGeneration measures generation itself.
+//
+// Run: go test -bench=. -benchmem
+package earlybird_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"earlybird"
+	"earlybird/internal/experiments"
+	"earlybird/internal/network"
+	"earlybird/internal/partcomm"
+	"earlybird/internal/rng"
+	"earlybird/internal/simclock"
+	"earlybird/internal/stats/normality"
+	"earlybird/internal/trace"
+	"earlybird/internal/workload"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+)
+
+// benchSuite returns a shared suite at the reduced geometry (3 x 4 x 60 x
+// 48 = 34560 samples/app) with all three datasets pre-generated.
+func benchSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite = experiments.NewSuite(experiments.Quick())
+		for _, app := range experiments.AppNames {
+			suite.Dataset(app)
+		}
+	})
+	return suite
+}
+
+// BenchmarkStudyGeneration measures producing one application's dataset
+// (the data-collection half of the pipeline).
+func BenchmarkStudyGeneration(b *testing.B) {
+	for _, app := range []string{"minife", "minimd", "miniqmc"} {
+		b.Run(app, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := earlybird.NewStudy(earlybird.Options{App: app, Geometry: earlybird.QuickGeometry()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = s
+			}
+		})
+	}
+}
+
+// BenchmarkAppLevelNormality regenerates E1 (Section 4.1, application
+// aggregation: all tests reject).
+func BenchmarkAppLevelNormality(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := s.E1AppLevelNormality()
+		if !res["minife"][normality.ShapiroWilk].RejectNormal {
+			b.Fatal("unexpected pass")
+		}
+	}
+}
+
+// BenchmarkAppIterationNormality regenerates E2 (per-iteration tests).
+func BenchmarkAppIterationNormality(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := s.E2AppIterationNormality()
+		if sum["minife"].Total == 0 {
+			b.Fatal("no iterations tested")
+		}
+	}
+}
+
+// BenchmarkTable1ProcessIterationNormality regenerates E3 (Table 1).
+func BenchmarkTable1ProcessIterationNormality(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := s.E3Table1()
+		if len(rows) != 3 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+// BenchmarkFig3Histograms regenerates E4 (application histograms, 10us
+// bins).
+func BenchmarkFig3Histograms(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := s.E4Fig3Histograms()
+		if h["miniqmc"].Total == 0 {
+			b.Fatal("empty histogram")
+		}
+	}
+}
+
+// BenchmarkFig4MiniFEPercentiles regenerates E5 (Figure 4).
+func BenchmarkFig4MiniFEPercentiles(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps := s.E5Fig4MiniFEPercentiles()
+		if len(ps.Values) == 0 {
+			b.Fatal("no series")
+		}
+	}
+}
+
+// BenchmarkFig5MiniFELaggards regenerates E6 (Figure 5).
+func BenchmarkFig5MiniFELaggards(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := s.E6Fig5MiniFELaggards()
+		if r.LaggardFraction <= 0 {
+			b.Fatal("no laggards")
+		}
+	}
+}
+
+// BenchmarkFig6MiniMDPercentiles regenerates E7 (Figure 6).
+func BenchmarkFig6MiniMDPercentiles(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := s.E7Fig6MiniMDPercentiles()
+		if r.Phase1IQRMean <= r.Phase2IQRMean {
+			b.Fatal("phase structure lost")
+		}
+	}
+}
+
+// BenchmarkFig7MiniMDLaggards regenerates E8 (Figure 7).
+func BenchmarkFig7MiniMDLaggards(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := s.E8Fig7MiniMDLaggards()
+		if r.Phase1 == nil {
+			b.Fatal("missing histogram")
+		}
+	}
+}
+
+// BenchmarkFig8MiniQMCPercentiles regenerates E9 (Figure 8).
+func BenchmarkFig8MiniQMCPercentiles(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps := s.E9Fig8MiniQMCPercentiles()
+		if len(ps.Values) == 0 {
+			b.Fatal("no series")
+		}
+	}
+}
+
+// BenchmarkFig9MiniQMCHistogram regenerates E10 (Figure 9).
+func BenchmarkFig9MiniQMCHistogram(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := s.E10Fig9MiniQMCHistogram()
+		if h.Total == 0 {
+			b.Fatal("empty histogram")
+		}
+	}
+}
+
+// BenchmarkScalarMetrics regenerates E11 (Section 4.2 scalars).
+func BenchmarkScalarMetrics(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := s.E11Metrics()
+		if m["miniqmc"].AvgReclaimableProcSec <= m["minimd"].AvgReclaimableProcSec {
+			b.Fatal("ordering lost")
+		}
+	}
+}
+
+// BenchmarkEarlybirdOverlap regenerates E12 (delivery strategies,
+// Figures 1-2 / Section 5).
+func BenchmarkEarlybirdOverlap(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := s.E12Overlap()
+		if len(res["minife"]) != 3 {
+			b.Fatal("strategies missing")
+		}
+	}
+}
+
+// BenchmarkComputeTimeDerivation regenerates E13: the skew-cancelling
+// compute-time derivation over one full recorder (Section 3.1).
+func BenchmarkComputeTimeDerivation(b *testing.B) {
+	clock := simclock.NewSkewed(simclock.NewVirtual(), []time.Duration{0, 5e6, -3e6, 250e3})
+	rec := trace.NewRecorder(clock, 200, 48)
+	for iter := 0; iter < 200; iter++ {
+		for th := 0; th < 48; th++ {
+			rec.Enter(iter, th, th)
+			rec.Exit(iter, th, th)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := 0.0
+		for iter := 0; iter < 200; iter++ {
+			for _, v := range rec.IterationSeconds(iter) {
+				sum += v
+			}
+		}
+		_ = sum
+	}
+}
+
+// BenchmarkFullReport measures the complete paper reproduction pipeline
+// end to end (all twelve experiments) at the reduced geometry.
+func BenchmarkFullReport(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.WriteReport(io.Discard)
+	}
+}
+
+func rngRoot() *rng.Source { return rng.New(1) }
+
+// BenchmarkWorkloadFill measures raw sample generation per process
+// iteration for each model.
+func BenchmarkWorkloadFill(b *testing.B) {
+	for _, m := range []workload.Model{
+		workload.DefaultMiniFE(), workload.DefaultMiniMD(), workload.DefaultMiniQMC(),
+	} {
+		b.Run(m.Name(), func(b *testing.B) {
+			root := rngRoot()
+			out := make([]float64, 48)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.FillProcessIteration(root, i%7, i%5, i%199, out)
+			}
+		})
+	}
+}
+
+// BenchmarkStrategyFinish measures one strategy evaluation over a single
+// 48-thread arrival set.
+func BenchmarkStrategyFinish(b *testing.B) {
+	arrivals := make([]float64, 48)
+	for i := range arrivals {
+		arrivals[i] = 26.3e-3 + float64(i)*1e-5
+	}
+	f := network.OmniPath()
+	for _, s := range []partcomm.Strategy{partcomm.Bulk{}, partcomm.FineGrained{}, partcomm.Binned{TimeoutSec: 1e-3}} {
+		b.Run(s.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if s.FinishTime(arrivals, 1<<20, f) <= 0 {
+					b.Fatal("bad finish time")
+				}
+			}
+		})
+	}
+}

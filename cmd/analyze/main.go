@@ -1,0 +1,110 @@
+// Command analyze runs the paper's Section 4 analysis pipeline over a
+// dataset collected by threadtime: normality at the three aggregation
+// levels, laggard classification, reclaimable-time metrics, percentile
+// series and histograms.
+//
+// Examples:
+//
+//	threadtime -app minife -o fe.json
+//	analyze -in fe.json
+//	analyze -in fe.json -percentiles fe_percentiles.csv -hist 10us
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"earlybird/internal/analysis"
+	"earlybird/internal/stats/normality"
+	"earlybird/internal/trace"
+)
+
+// durations maps human-friendly bin width names onto seconds.
+var binWidths = map[string]float64{
+	"10us": 10e-6,
+	"50us": 50e-6,
+	"1ms":  1e-3,
+}
+
+func main() {
+	var (
+		in          = flag.String("in", "", "input dataset (JSON from threadtime); required")
+		alpha       = flag.Float64("alpha", normality.DefaultAlpha, "normality significance level")
+		laggardMs   = flag.Float64("laggard-ms", 1.0, "laggard threshold in milliseconds")
+		percentiles = flag.String("percentiles", "", "write per-iteration percentile CSV to this file")
+		histWidth   = flag.String("hist", "", "render application histogram with this bin width (10us|50us|1ms)")
+		timeline    = flag.String("timeline", "", "write per-iteration laggard-count CSV to this file")
+	)
+	flag.Parse()
+
+	if err := run(*in, *alpha, *laggardMs*1e-3, *percentiles, *histWidth, *timeline); err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, alpha, laggardSec float64, percentilesOut, histWidth, timelineOut string) error {
+	if in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ds, err := trace.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset %s: %d trials x %d ranks x %d iterations x %d threads (%d samples)\n",
+		ds.App, ds.Trials, ds.Ranks, ds.Iterations, ds.Threads, ds.NumSamples())
+
+	fmt.Println("\n-- application-level normality --")
+	for _, r := range analysis.ApplicationLevelNormality(ds, alpha) {
+		fmt.Printf("%-18s stat %10.4f  p %.3g  reject=%v\n", r.Test, r.Statistic, r.PValue, r.RejectNormal)
+	}
+
+	fmt.Println("\n-- application-iteration normality --")
+	ai := analysis.ApplicationIterationNormality(ds, alpha)
+	for _, t := range normality.Tests {
+		fmt.Printf("%-18s passed %d/%d iterations\n", t, ai.Passed[t], ai.Total)
+	}
+
+	fmt.Println("\n-- process-iteration normality (Table 1 row) --")
+	fmt.Println(analysis.Table1Row(ds, alpha))
+
+	fmt.Println("\n-- laggards and idle metrics --")
+	st := analysis.Laggards(ds, laggardSec)
+	fmt.Printf("laggard iterations: %d/%d (%.1f%%), mean magnitude %.2f ms\n",
+		st.WithLaggard, st.Total, 100*st.Fraction, 1e3*st.MeanMagnitudeSec)
+	fmt.Println(analysis.ComputeMetrics(ds, laggardSec))
+
+	if percentilesOut != "" {
+		ps := analysis.IterationPercentiles(ds, nil)
+		if err := os.WriteFile(percentilesOut, []byte(ps.CSV(1e-3)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\npercentile series written to %s (milliseconds)\n", percentilesOut)
+	}
+
+	if timelineOut != "" {
+		tl := analysis.NewLaggardTimeline(ds, laggardSec)
+		if err := os.WriteFile(timelineOut, []byte(tl.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nlaggard timeline written to %s (%d/%d iterations active, burstiness %.2f)\n",
+			timelineOut, tl.ActiveIterations(), ds.Iterations, tl.Burstiness())
+	}
+
+	if histWidth != "" {
+		w, ok := binWidths[histWidth]
+		if !ok {
+			return fmt.Errorf("unknown bin width %q (want 10us, 50us or 1ms)", histWidth)
+		}
+		h := analysis.ApplicationHistogram(ds, w)
+		fmt.Printf("\n-- application histogram (%s bins, peak %.2f ms) --\n", histWidth, 1e3*h.Peak())
+		fmt.Print(h.Render(40, 1e-3, "ms"))
+	}
+	return nil
+}

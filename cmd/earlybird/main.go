@@ -1,0 +1,82 @@
+// Command earlybird assesses the feasibility of early-bird message
+// delivery for an application's thread-arrival behaviour — the question
+// the paper's title poses (Figures 1-2, Section 5).
+//
+// It evaluates three delivery strategies over the arrival data (bulk
+// baseline, fine-grained per-partition early-bird, and timeout-binned
+// aggregation) on an alpha-beta fabric model, and emits the paper-style
+// recommendation.
+//
+// Examples:
+//
+//	earlybird -app miniqmc
+//	earlybird -in fe.json -part-bytes 262144 -bin-timeout-ms 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"earlybird/internal/cluster"
+	"earlybird/internal/core"
+	"earlybird/internal/network"
+	"earlybird/internal/trace"
+)
+
+func main() {
+	var (
+		app       = flag.String("app", "", "built-in application (minife|minimd|miniqmc)")
+		in        = flag.String("in", "", "dataset JSON (alternative to -app)")
+		partBytes = flag.Int("part-bytes", 1<<20, "bytes per partition (one partition per thread)")
+		timeoutMs = flag.Float64("bin-timeout-ms", 1.0, "binned-strategy flush timeout (ms)")
+		trials    = flag.Int("trials", 3, "trials when running a built-in app")
+		iters     = flag.Int("iters", 60, "iterations when running a built-in app")
+		latencyUs = flag.Float64("latency-us", 1.0, "fabric latency (us)")
+		bwGBs     = flag.Float64("bandwidth-gbs", 12.5, "fabric bandwidth (GB/s)")
+	)
+	flag.Parse()
+
+	if err := run(*app, *in, *partBytes, *timeoutMs*1e-3, *trials, *iters, *latencyUs*1e-6, *bwGBs*1e9); err != nil {
+		fmt.Fprintln(os.Stderr, "earlybird:", err)
+		os.Exit(1)
+	}
+}
+
+func run(app, in string, partBytes int, timeoutSec float64, trials, iters int, latencySec, bwBps float64) error {
+	var (
+		study *core.Study
+		err   error
+	)
+	switch {
+	case in != "":
+		f, err2 := os.Open(in)
+		if err2 != nil {
+			return err2
+		}
+		defer f.Close()
+		var ds *trace.Dataset
+		if ds, err = trace.ReadJSON(f); err != nil {
+			return err
+		}
+		study, err = core.FromDataset(ds)
+	case app != "":
+		study, err = core.NewStudy(core.Options{
+			App:      app,
+			Geometry: cluster.Config{Trials: trials, Ranks: 8, Iterations: iters, Threads: 48, Seed: 1},
+		})
+	default:
+		return fmt.Errorf("one of -app or -in is required")
+	}
+	if err != nil {
+		return err
+	}
+
+	fabric := network.Fabric{LatencySec: latencySec, BandwidthBytesPerSec: bwBps, OverheadSec: 0.3e-6}
+	if err := fabric.Validate(); err != nil {
+		return err
+	}
+	a := study.Feasibility(partBytes, fabric, timeoutSec)
+	fmt.Print(a)
+	return nil
+}

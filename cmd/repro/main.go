@@ -1,0 +1,178 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation in one run, rendering paper-vs-measured values — the source
+// of EXPERIMENTS.md.
+//
+// Examples:
+//
+//	repro                       # full paper geometry (10x8x200x48)
+//	repro -quick                # reduced geometry for a fast look
+//	repro -exp table1           # a single experiment
+//	repro -figdir out/          # also dump figure CSVs for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"earlybird/internal/experiments"
+	"earlybird/internal/stats"
+	"earlybird/internal/stats/normality"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "reduced geometry (3x4x60x48) for a fast run")
+		exp    = flag.String("exp", "all", "experiment: all | E1 | E2 | table1 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | metrics | overlap | ablation | distsweep")
+		figdir = flag.String("figdir", "", "directory to write figure CSV data into")
+		seed   = flag.Uint64("seed", 1, "master seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	cfg.Cluster.Seed = *seed
+	suite := experiments.NewSuite(cfg)
+
+	if err := run(suite, *exp, *figdir); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(s *experiments.Suite, exp, figdir string) error {
+	w := os.Stdout
+	switch exp {
+	case "all":
+		s.WriteReport(w)
+	case "E1":
+		for _, app := range experiments.AppNames {
+			res := s.E1AppLevelNormality()[app]
+			for _, t := range normality.Tests {
+				fmt.Fprintf(w, "%s/%s: stat %.4f p %.3g reject=%v\n", app, t, res[t].Statistic, res[t].PValue, res[t].RejectNormal)
+			}
+		}
+	case "E2":
+		for _, app := range experiments.AppNames {
+			sum := s.E2AppIterationNormality()[app]
+			for _, t := range normality.Tests {
+				fmt.Fprintf(w, "%s/%s: %d/%d iterations pass\n", app, t, sum.Passed[t], sum.Total)
+			}
+		}
+	case "table1":
+		for _, row := range s.E3Table1() {
+			fmt.Fprintln(w, row)
+		}
+	case "fig3":
+		for _, app := range experiments.AppNames {
+			h := s.E4Fig3Histograms()[app]
+			fmt.Fprintf(w, "%s: peak %.2f ms over %d samples\n", app, 1e3*h.Peak(), h.Total)
+		}
+	case "fig4":
+		fmt.Fprint(w, s.E5Fig4MiniFEPercentiles().CSV(1e-3))
+	case "fig5":
+		r := s.E6Fig5MiniFELaggards()
+		fmt.Fprintf(w, "laggard fraction %.3f (paper 0.224)\n", r.LaggardFraction)
+		fmt.Fprintln(w, "-- no laggard --")
+		fmt.Fprint(w, r.NoLaggard.Render(30, 1e-3, "ms"))
+		fmt.Fprintln(w, "-- with laggard --")
+		fmt.Fprint(w, r.WithLaggard.Render(30, 1e-3, "ms"))
+	case "fig6":
+		r := s.E7Fig6MiniMDPercentiles()
+		fmt.Fprintf(w, "phase1 IQR mean/max %.2f/%.2f ms, phase2 %.2f/%.2f ms\n",
+			1e3*r.Phase1IQRMean, 1e3*r.Phase1IQRMax, 1e3*r.Phase2IQRMean, 1e3*r.Phase2IQRMax)
+		fmt.Fprint(w, r.Series.CSV(1e-3))
+	case "fig7":
+		r := s.E8Fig7MiniMDLaggards()
+		fmt.Fprintf(w, "phase-2 laggard fraction %.3f (paper 0.048)\n", r.LaggardFraction)
+		fmt.Fprintln(w, "-- phase 1 --")
+		fmt.Fprint(w, r.Phase1.Render(30, 1e-3, "ms"))
+		fmt.Fprintln(w, "-- no laggard --")
+		fmt.Fprint(w, r.NoLaggard.Render(30, 1e-3, "ms"))
+		fmt.Fprintln(w, "-- with laggard --")
+		fmt.Fprint(w, r.WithLaggard.Render(30, 1e-3, "ms"))
+	case "fig8":
+		fmt.Fprint(w, s.E9Fig8MiniQMCPercentiles().CSV(1e-3))
+	case "fig9":
+		fmt.Fprint(w, s.E10Fig9MiniQMCHistogram().Render(40, 1e-3, "ms"))
+	case "metrics":
+		for _, app := range experiments.AppNames {
+			fmt.Fprintln(w, s.E11Metrics()[app])
+		}
+	case "overlap":
+		for _, app := range experiments.AppNames {
+			fmt.Fprintf(w, "%s:\n", app)
+			for _, r := range s.E12Overlap()[app] {
+				fmt.Fprintf(w, "  %s\n", r)
+			}
+		}
+	case "ablation":
+		s.WriteAblationReport(w)
+	case "distsweep":
+		s.WriteDistSweepReport(w, experiments.DefaultDistSweep())
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+
+	if figdir != "" {
+		return dumpFigures(s, figdir)
+	}
+	return nil
+}
+
+// dumpFigures writes plotting-ready CSVs for every figure.
+func dumpFigures(s *experiments.Suite, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name, content string) error {
+		return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
+	}
+	for _, app := range experiments.AppNames {
+		h := s.E4Fig3Histograms()[app]
+		if err := write(fmt.Sprintf("fig3_%s.csv", app), h.CSV(1e-3)); err != nil {
+			return err
+		}
+	}
+	if err := write("fig4_minife_percentiles.csv", s.E5Fig4MiniFEPercentiles().CSV(1e-3)); err != nil {
+		return err
+	}
+	f5 := s.E6Fig5MiniFELaggards()
+	if err := writeHist(write, "fig5a_no_laggard.csv", f5.NoLaggard); err != nil {
+		return err
+	}
+	if err := writeHist(write, "fig5b_laggard.csv", f5.WithLaggard); err != nil {
+		return err
+	}
+	if err := write("fig6_minimd_percentiles.csv", s.E7Fig6MiniMDPercentiles().Series.CSV(1e-3)); err != nil {
+		return err
+	}
+	f7 := s.E8Fig7MiniMDLaggards()
+	if err := writeHist(write, "fig7a_phase1.csv", f7.Phase1); err != nil {
+		return err
+	}
+	if err := writeHist(write, "fig7b_no_laggard.csv", f7.NoLaggard); err != nil {
+		return err
+	}
+	if err := writeHist(write, "fig7c_laggard.csv", f7.WithLaggard); err != nil {
+		return err
+	}
+	if err := write("fig8_miniqmc_percentiles.csv", s.E9Fig8MiniQMCPercentiles().CSV(1e-3)); err != nil {
+		return err
+	}
+	if err := writeHist(write, "fig9_miniqmc_process.csv", s.E10Fig9MiniQMCHistogram()); err != nil {
+		return err
+	}
+	fmt.Printf("figure data written to %s\n", dir)
+	return nil
+}
+
+func writeHist(write func(string, string) error, name string, h *stats.Histogram) error {
+	if h == nil {
+		return nil
+	}
+	return write(name, h.CSV(1e-3))
+}

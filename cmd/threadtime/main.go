@@ -1,0 +1,118 @@
+// Command threadtime collects a thread-timing study — the data-gathering
+// half of the paper's methodology (Section 3).
+//
+// By default it runs the calibrated stochastic model of an application at
+// the paper's geometry and writes the dataset as JSON or CSV. With -live
+// it instead executes the real instrumented compute kernels
+// (internal/miniapps) on this host's clock — useful for studying the
+// instrumentation itself, not for reproducing the paper's numbers.
+//
+// Examples:
+//
+//	threadtime -app minife -o minife.json
+//	threadtime -app minimd -trials 3 -iters 50 -format csv -o md.csv
+//	threadtime -app miniqmc -live -threads 8 -iters 20 -o live.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"earlybird/internal/cluster"
+	"earlybird/internal/miniapps"
+	"earlybird/internal/omp"
+	"earlybird/internal/simclock"
+	"earlybird/internal/trace"
+	"earlybird/internal/workload"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "minife", "application: minife | minimd | miniqmc")
+		trials  = flag.Int("trials", 10, "number of trials")
+		ranks   = flag.Int("ranks", 8, "processes per job")
+		iters   = flag.Int("iters", 200, "iterations per run")
+		threads = flag.Int("threads", 48, "threads per process")
+		seed    = flag.Uint64("seed", 1, "master seed")
+		live    = flag.Bool("live", false, "run real instrumented kernels instead of the calibrated model")
+		format  = flag.String("format", "json", "output format: json | csv")
+		out     = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	if err := run(*app, *trials, *ranks, *iters, *threads, *seed, *live, *format, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "threadtime:", err)
+		os.Exit(1)
+	}
+}
+
+func run(app string, trials, ranks, iters, threads int, seed uint64, live bool, format, out string) error {
+	var (
+		ds  *trace.Dataset
+		err error
+	)
+	if live {
+		ds, err = runLive(app, trials, ranks, iters, threads, seed)
+	} else {
+		ds, err = runModel(app, cluster.Config{Trials: trials, Ranks: ranks, Iterations: iters, Threads: threads, Seed: seed})
+	}
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch format {
+	case "json":
+		return ds.WriteJSON(w)
+	case "csv":
+		return ds.WriteCSV(w)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func runModel(app string, cfg cluster.Config) (*trace.Dataset, error) {
+	var m workload.Model
+	switch app {
+	case "minife":
+		m = workload.DefaultMiniFE()
+	case "minimd":
+		m = workload.DefaultMiniMD()
+	case "miniqmc":
+		m = workload.DefaultMiniQMC()
+	default:
+		return nil, fmt.Errorf("unknown app %q", app)
+	}
+	return cluster.Run(m, cfg)
+}
+
+func runLive(app string, trials, ranks, iters, threads int, seed uint64) (*trace.Dataset, error) {
+	pool := omp.NewPool(threads)
+	defer pool.Close()
+	clock := simclock.NewReal()
+	var factory func(trial, rank int) miniapps.App
+	switch app {
+	case "minife":
+		factory = func(trial, rank int) miniapps.App { return miniapps.NewMiniFE(32, 32, 32) }
+	case "minimd":
+		factory = func(trial, rank int) miniapps.App {
+			return miniapps.NewMiniMD(10, 4, seed+uint64(trial*1000+rank))
+		}
+	case "miniqmc":
+		factory = func(trial, rank int) miniapps.App {
+			return miniapps.NewMiniQMC(12, 400, seed+uint64(trial*1000+rank))
+		}
+	default:
+		return nil, fmt.Errorf("unknown app %q", app)
+	}
+	return miniapps.RunStudy(factory, pool, clock, trials, ranks, iters), nil
+}

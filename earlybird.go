@@ -1,0 +1,78 @@
+// Package earlybird reproduces the measurement and feasibility study of
+// "Measuring Thread Timing to Assess the Feasibility of Early-bird
+// Message Delivery" (Marts et al., 2023): per-thread timing
+// instrumentation of fork/join compute regions, statistical analysis of
+// thread-arrival distributions, and evaluation of early-bird partitioned
+// message delivery against the measured arrivals.
+//
+// Quick start:
+//
+//	study, err := earlybird.NewStudy(earlybird.Options{App: "minife"})
+//	if err != nil { ... }
+//	fmt.Println(study.Metrics())                       // Section 4.2 scalars
+//	fmt.Println(study.Table1())                        // Table 1 row
+//	a := study.Feasibility(1<<20, earlybird.OmniPath(), 1e-3)
+//	fmt.Println(a.Recommendation)                      // Section 5 verdict
+//
+// The heavy lifting lives in the internal packages (omp, trace, workload,
+// cluster, stats/normality, partcomm, analysis, experiments); this
+// package is the stable facade.
+package earlybird
+
+import (
+	"earlybird/internal/analysis"
+	"earlybird/internal/cluster"
+	"earlybird/internal/core"
+	"earlybird/internal/network"
+	"earlybird/internal/trace"
+)
+
+// Study is a collected thread-timing dataset plus analysis configuration.
+type Study = core.Study
+
+// Options configures NewStudy.
+type Options = core.Options
+
+// Assessment is an early-bird feasibility verdict.
+type Assessment = core.Assessment
+
+// Recommendation classifies how an application should employ early-bird
+// communication (Section 5 of the paper).
+type Recommendation = core.Recommendation
+
+// Recommendation values.
+const (
+	RecommendTimeoutFlush  = core.RecommendTimeoutFlush
+	RecommendFineGrained   = core.RecommendFineGrained
+	RecommendSophisticated = core.RecommendSophisticated
+)
+
+// Geometry is a study size (trials x ranks x iterations x threads).
+type Geometry = cluster.Config
+
+// Fabric is an alpha-beta interconnect parameterisation for feasibility
+// evaluation.
+type Fabric = network.Fabric
+
+// Dataset is the raw compute-time tensor of a study.
+type Dataset = trace.Dataset
+
+// AppMetrics holds the Section 4.2 scalar metrics of a study.
+type AppMetrics = analysis.AppMetrics
+
+// NewStudy runs a study with the given options.
+func NewStudy(opts Options) (*Study, error) { return core.NewStudy(opts) }
+
+// FromDataset wraps a previously collected dataset.
+func FromDataset(d *Dataset) (*Study, error) { return core.FromDataset(d) }
+
+// PaperGeometry returns the paper's configuration: 10 trials, 8 ranks,
+// 200 iterations, 48 threads.
+func PaperGeometry() Geometry { return cluster.DefaultConfig() }
+
+// QuickGeometry returns a reduced configuration for experimentation.
+func QuickGeometry() Geometry { return cluster.SmallConfig() }
+
+// OmniPath returns the interconnect parameters representative of the
+// paper's testbed fabric.
+func OmniPath() Fabric { return network.OmniPath() }

@@ -1,0 +1,70 @@
+package earlybird_test
+
+import (
+	"bytes"
+	"testing"
+
+	"earlybird"
+	"earlybird/internal/trace"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	study, err := earlybird.NewStudy(earlybird.Options{
+		App:      "miniqmc",
+		Geometry: earlybird.Geometry{Trials: 2, Ranks: 2, Iterations: 30, Threads: 48, Seed: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := study.Metrics()
+	if m.MeanMedianSec < 55e-3 || m.MeanMedianSec > 67e-3 {
+		t.Errorf("median %v", m.MeanMedianSec)
+	}
+	a := study.Feasibility(1<<20, earlybird.OmniPath(), 1e-3)
+	if a.Recommendation != earlybird.RecommendFineGrained {
+		t.Errorf("recommendation %q", a.Recommendation)
+	}
+}
+
+func TestFacadeGeometries(t *testing.T) {
+	pg := earlybird.PaperGeometry()
+	if pg.Trials != 10 || pg.Ranks != 8 || pg.Iterations != 200 || pg.Threads != 48 {
+		t.Errorf("paper geometry %+v", pg)
+	}
+	qg := earlybird.QuickGeometry()
+	if qg.Threads != 48 {
+		t.Errorf("quick geometry should keep 48 threads: %+v", qg)
+	}
+}
+
+func TestFacadeDatasetRoundTrip(t *testing.T) {
+	study, err := earlybird.NewStudy(earlybird.Options{
+		App:      "minife",
+		Geometry: earlybird.Geometry{Trials: 1, Ranks: 2, Iterations: 10, Threads: 48, Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := study.Dataset().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := trace.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := earlybird.FromDataset(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Metrics().MeanMedianSec != study.Metrics().MeanMedianSec {
+		t.Error("round trip changed metrics")
+	}
+}
+
+func TestFacadeFabric(t *testing.T) {
+	f := earlybird.OmniPath()
+	if f.BandwidthBytesPerSec <= 0 {
+		t.Error("bad fabric")
+	}
+}

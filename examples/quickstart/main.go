@@ -1,0 +1,38 @@
+// Quickstart: run a thread-timing study of one proxy application, look at
+// its arrival statistics, and ask whether early-bird message delivery is
+// feasible for it — the paper's whole pipeline in twenty lines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"earlybird"
+)
+
+func main() {
+	// A reduced geometry keeps the quickstart under a second; swap in
+	// earlybird.PaperGeometry() for the full 10 x 8 x 200 x 48 study.
+	study, err := earlybird.NewStudy(earlybird.Options{
+		App:      "minife",
+		Geometry: earlybird.QuickGeometry(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Section 4.2 scalar metrics: median arrival, laggards, reclaimable
+	// idle time.
+	fmt.Println(study.Metrics())
+
+	// Table 1: is a process iteration's thread-arrival sample normal?
+	fmt.Println(study.Table1())
+
+	// Section 5: the feasibility verdict, with delivery strategies
+	// evaluated on an Omni-Path-like fabric at 1 MiB per thread.
+	assessment := study.Feasibility(1<<20, earlybird.OmniPath(), 1e-3)
+	fmt.Print(assessment)
+
+	study.WriteSummary(os.Stdout)
+}

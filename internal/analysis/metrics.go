@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"fmt"
+
+	"earlybird/internal/stats"
+	"earlybird/internal/trace"
+)
+
+// ReclaimableTime returns the paper's reclaimable-time quantity for one
+// process iteration: the sum over threads of (latest arrival - this
+// thread's arrival) — the total thread-time that early-bird communication
+// could in principle put to use (Section 4.2).
+func ReclaimableTime(xs []float64) float64 {
+	max := stats.Max(xs)
+	sum := 0.0
+	for _, x := range xs {
+		sum += max - x
+	}
+	return sum
+}
+
+// IdleRatio returns the cumulative idle time of a sample set divided by
+// (latest arrival x thread count) — the paper's "ratio of time spent
+// idle".
+func IdleRatio(xs []float64) float64 {
+	max := stats.Max(xs)
+	if max <= 0 {
+		return 0
+	}
+	return ReclaimableTime(xs) / (max * float64(len(xs)))
+}
+
+// AppMetrics collects the scalar quantities Section 4.2 reports per
+// application. The paper's definitions of the two idle metrics are
+// mutually inconsistent under a single aggregation level (see DESIGN.md),
+// so both metrics are computed at both levels.
+type AppMetrics struct {
+	App string
+	// MeanMedianSec is the mean over process iterations of the median
+	// thread arrival time (paper: 26.30 / 24.74 / 60.91 ms).
+	MeanMedianSec float64
+	// LaggardFraction is the fraction of process iterations whose latest
+	// thread is more than 1 ms past the median (paper: 22.4% MiniFE,
+	// 4.8% MiniMD phase two).
+	LaggardFraction float64
+	// AvgReclaimableProcSec is the mean over process iterations of
+	// ReclaimableTime (paper: 42.82 / 17.61 / 708.03 ms).
+	AvgReclaimableProcSec float64
+	// IdleRatioProc is the mean over process iterations of IdleRatio.
+	IdleRatioProc float64
+	// AvgReclaimableAppIterSec and IdleRatioAppIter are the same metrics
+	// computed over application-iteration aggregations (3840 samples).
+	AvgReclaimableAppIterSec float64
+	IdleRatioAppIter         float64
+	// IQRMeanSec and IQRMaxSec summarise the application-iteration IQR
+	// across iterations (the quantities read off Figures 4, 6 and 8).
+	IQRMeanSec float64
+	IQRMaxSec  float64
+}
+
+// ComputeMetrics derives AppMetrics for the whole dataset.
+func ComputeMetrics(d *trace.Dataset, laggardThreshold float64) AppMetrics {
+	return ComputeMetricsInRange(d, laggardThreshold, 0, d.Iterations)
+}
+
+// ComputeMetricsInRange derives AppMetrics restricted to iterations in
+// [fromIter, toIter), for phase-wise analysis (MiniMD).
+func ComputeMetricsInRange(d *trace.Dataset, laggardThreshold float64, fromIter, toIter int) AppMetrics {
+	m := AppMetrics{App: d.App}
+	nProc := 0
+	medianSum, reclSum, ratioSum := 0.0, 0.0, 0.0
+	laggards := 0
+	d.EachProcessIteration(func(trial, rank, iter int, xs []float64) {
+		if iter < fromIter || iter >= toIter {
+			return
+		}
+		nProc++
+		med := stats.Median(xs)
+		medianSum += med
+		reclSum += ReclaimableTime(xs)
+		ratioSum += IdleRatio(xs)
+		if stats.Max(xs)-med > laggardThreshold {
+			laggards++
+		}
+	})
+	if nProc > 0 {
+		m.MeanMedianSec = medianSum / float64(nProc)
+		m.LaggardFraction = float64(laggards) / float64(nProc)
+		m.AvgReclaimableProcSec = reclSum / float64(nProc)
+		m.IdleRatioProc = ratioSum / float64(nProc)
+	}
+
+	nIter := 0
+	reclAppSum, ratioAppSum, iqrSum := 0.0, 0.0, 0.0
+	iqrMax := 0.0
+	for i := fromIter; i < toIter; i++ {
+		xs := d.IterationSamples(i)
+		nIter++
+		reclAppSum += ReclaimableTime(xs)
+		ratioAppSum += IdleRatio(xs)
+		iqr := stats.IQR(xs)
+		iqrSum += iqr
+		if iqr > iqrMax {
+			iqrMax = iqr
+		}
+	}
+	if nIter > 0 {
+		m.AvgReclaimableAppIterSec = reclAppSum / float64(nIter)
+		m.IdleRatioAppIter = ratioAppSum / float64(nIter)
+		m.IQRMeanSec = iqrSum / float64(nIter)
+		m.IQRMaxSec = iqrMax
+	}
+	return m
+}
+
+// String renders the metrics in milliseconds, as the paper reports them.
+func (m AppMetrics) String() string {
+	return fmt.Sprintf(
+		"%s: mean median %.2f ms, laggard iterations %.1f%%, "+
+			"avg reclaimable (process) %.2f ms, idle ratio (process) %.4f, "+
+			"avg reclaimable (app-iter) %.2f ms, idle ratio (app-iter) %.4f, "+
+			"IQR mean %.2f ms, IQR max %.2f ms",
+		m.App, 1e3*m.MeanMedianSec, 100*m.LaggardFraction,
+		1e3*m.AvgReclaimableProcSec, m.IdleRatioProc,
+		1e3*m.AvgReclaimableAppIterSec, m.IdleRatioAppIter,
+		1e3*m.IQRMeanSec, 1e3*m.IQRMaxSec)
+}

@@ -1,0 +1,24 @@
+package cluster
+
+import (
+	"testing"
+
+	"earlybird/internal/workload"
+)
+
+// BenchmarkRunQuickGeometry measures generating one reduced study
+// (3 x 4 x 60 x 48 = 34560 samples).
+func BenchmarkRunQuickGeometry(b *testing.B) {
+	cfg := Config{Trials: 3, Ranks: 4, Iterations: 60, Threads: 48, Seed: 1}
+	for _, m := range []workload.Model{
+		workload.DefaultMiniFE(), workload.DefaultMiniMD(), workload.DefaultMiniQMC(),
+	} {
+		b.Run(m.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(m, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,97 @@
+// Package cluster runs a full study job — trials x ranks x iterations x
+// threads — over a workload model, producing the trace.Dataset that the
+// analysis pipeline consumes.
+//
+// The default geometry mirrors the paper's experimental configuration on
+// Manzano (Section 3.2): ten trials, eight processes per job, 48 threads
+// per process (two 24-core Cascade Lake sockets), two hundred iterations —
+// 768000 samples per application.
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"earlybird/internal/rng"
+	"earlybird/internal/trace"
+	"earlybird/internal/workload"
+)
+
+// Config is a study geometry plus master seed.
+type Config struct {
+	Trials     int
+	Ranks      int
+	Iterations int
+	Threads    int
+	Seed       uint64
+}
+
+// DefaultConfig returns the paper's geometry (10 x 8 x 200 x 48).
+func DefaultConfig() Config {
+	return Config{Trials: 10, Ranks: 8, Iterations: 200, Threads: 48, Seed: 1}
+}
+
+// SmallConfig returns a reduced geometry for fast tests and examples:
+// the same thread count (the statistics are per-48-thread sets) with
+// fewer trials and iterations.
+func SmallConfig() Config {
+	return Config{Trials: 3, Ranks: 4, Iterations: 60, Threads: 48, Seed: 1}
+}
+
+// Validate checks the geometry.
+func (c Config) Validate() error {
+	if c.Trials < 1 || c.Ranks < 1 || c.Iterations < 1 || c.Threads < 1 {
+		return fmt.Errorf("cluster: non-positive geometry %+v", c)
+	}
+	return nil
+}
+
+// Run executes the study described by cfg over the model and returns the
+// collected dataset. Process iterations are filled concurrently (one task
+// per trial x rank); the result is deterministic in cfg.Seed regardless of
+// scheduling because every (trial, rank, iteration) derives its own
+// random stream.
+func Run(model workload.Model, cfg Config) (*trace.Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := trace.NewDataset(model.Name(), cfg.Trials, cfg.Ranks, cfg.Iterations, cfg.Threads)
+	root := rng.New(cfg.Seed)
+
+	type job struct{ trial, rank int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	workers := runtime.NumCPU()
+	if workers > cfg.Trials*cfg.Ranks {
+		workers = cfg.Trials * cfg.Ranks
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				for i := 0; i < cfg.Iterations; i++ {
+					model.FillProcessIteration(root, j.trial, j.rank, i, d.Times[j.trial][j.rank][i])
+				}
+			}
+		}()
+	}
+	for t := 0; t < cfg.Trials; t++ {
+		for r := 0; r < cfg.Ranks; r++ {
+			jobs <- job{t, r}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return d, nil
+}
+
+// MustRun is Run for known-good configurations; it panics on error.
+func MustRun(model workload.Model, cfg Config) *trace.Dataset {
+	d, err := Run(model, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"testing"
+
+	"earlybird/internal/workload"
+)
+
+func TestRunGeometry(t *testing.T) {
+	cfg := Config{Trials: 2, Ranks: 3, Iterations: 5, Threads: 7, Seed: 9}
+	d, err := Run(workload.DefaultMiniFE(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.App != "minife" {
+		t.Errorf("app = %q", d.App)
+	}
+	if d.NumSamples() != 2*3*5*7 {
+		t.Errorf("samples = %d", d.NumSamples())
+	}
+	for _, x := range d.AllSamples() {
+		if x <= 0 {
+			t.Fatalf("non-positive compute time %v", x)
+		}
+	}
+}
+
+func TestRunDeterministicAcrossSchedules(t *testing.T) {
+	cfg := Config{Trials: 3, Ranks: 2, Iterations: 10, Threads: 16, Seed: 42}
+	a := MustRun(workload.DefaultMiniMD(), cfg)
+	b := MustRun(workload.DefaultMiniMD(), cfg)
+	as, bs := a.AllSamples(), b.AllSamples()
+	for i := range as {
+		if as[i] != bs[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, as[i], bs[i])
+		}
+	}
+}
+
+func TestRunSeedSensitivity(t *testing.T) {
+	cfg := Config{Trials: 1, Ranks: 1, Iterations: 2, Threads: 8, Seed: 1}
+	cfg2 := cfg
+	cfg2.Seed = 2
+	a := MustRun(workload.DefaultMiniQMC(), cfg)
+	b := MustRun(workload.DefaultMiniQMC(), cfg2)
+	if a.AllSamples()[0] == b.AllSamples()[0] {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(workload.DefaultMiniFE(), Config{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Trials != 10 || cfg.Ranks != 8 || cfg.Iterations != 200 || cfg.Threads != 48 {
+		t.Fatalf("default config %+v does not match Section 3.2", cfg)
+	}
+	if cfg.Trials*cfg.Ranks*cfg.Iterations*cfg.Threads != 768000 {
+		t.Fatal("default config should yield 768000 samples")
+	}
+	if cfg.Trials*cfg.Ranks*cfg.Iterations != 16000 {
+		t.Fatal("default config should yield 16000 process iterations")
+	}
+}
+
+func TestMustRunPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustRun(workload.DefaultMiniFE(), Config{Trials: -1})
+}

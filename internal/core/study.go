@@ -1,0 +1,235 @@
+// Package core ties the substrates into the paper's methodology: run (or
+// load) a thread-timing study of an application, analyse the arrival
+// distributions at the three aggregation levels, and assess the
+// feasibility of early-bird message delivery for that application.
+//
+// This is the library's primary public surface; the root earlybird
+// package re-exports it.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"earlybird/internal/analysis"
+	"earlybird/internal/cluster"
+	"earlybird/internal/network"
+	"earlybird/internal/partcomm"
+	"earlybird/internal/stats"
+	"earlybird/internal/stats/normality"
+	"earlybird/internal/trace"
+	"earlybird/internal/workload"
+)
+
+// Options configures a study.
+type Options struct {
+	// App selects a built-in application model ("minife", "minimd",
+	// "miniqmc") when Model is nil.
+	App string
+	// Model overrides App with a custom workload model.
+	Model workload.Model
+	// Geometry is the study size; zero value means the paper's
+	// 10 x 8 x 200 x 48.
+	Geometry cluster.Config
+	// Alpha is the normality significance level; zero means 5%.
+	Alpha float64
+	// LaggardThresholdSec is the laggard rule; zero means 1 ms.
+	LaggardThresholdSec float64
+}
+
+func (o *Options) fill() error {
+	if o.Model == nil {
+		switch o.App {
+		case "minife":
+			o.Model = workload.DefaultMiniFE()
+		case "minimd":
+			o.Model = workload.DefaultMiniMD()
+		case "miniqmc":
+			o.Model = workload.DefaultMiniQMC()
+		case "":
+			return errors.New("core: either App or Model must be set")
+		default:
+			return fmt.Errorf("core: unknown app %q", o.App)
+		}
+	}
+	if o.Geometry == (cluster.Config{}) {
+		o.Geometry = cluster.DefaultConfig()
+	}
+	if o.Alpha == 0 {
+		o.Alpha = normality.DefaultAlpha
+	}
+	if o.LaggardThresholdSec == 0 {
+		o.LaggardThresholdSec = analysis.DefaultLaggardThresholdSec
+	}
+	return nil
+}
+
+// Study is a collected thread-timing dataset plus the analysis
+// configuration.
+type Study struct {
+	opts Options
+	ds   *trace.Dataset
+}
+
+// NewStudy runs the configured study and returns it.
+func NewStudy(opts Options) (*Study, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	ds, err := cluster.Run(opts.Model, opts.Geometry)
+	if err != nil {
+		return nil, err
+	}
+	return &Study{opts: opts, ds: ds}, nil
+}
+
+// FromDataset wraps an existing dataset (for example, read back from
+// JSON) in a Study with default analysis parameters.
+func FromDataset(ds *trace.Dataset) (*Study, error) {
+	if ds == nil {
+		return nil, errors.New("core: nil dataset")
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return &Study{
+		opts: Options{
+			App:                 ds.App,
+			Alpha:               normality.DefaultAlpha,
+			LaggardThresholdSec: analysis.DefaultLaggardThresholdSec,
+		},
+		ds: ds,
+	}, nil
+}
+
+// Dataset returns the underlying dataset.
+func (s *Study) Dataset() *trace.Dataset { return s.ds }
+
+// App returns the application name.
+func (s *Study) App() string { return s.ds.App }
+
+// Metrics computes the Section 4.2 scalar metrics.
+func (s *Study) Metrics() analysis.AppMetrics {
+	return analysis.ComputeMetrics(s.ds, s.opts.LaggardThresholdSec)
+}
+
+// Table1 computes the study's process-iteration normality row.
+func (s *Study) Table1() analysis.Table1 {
+	return analysis.Table1Row(s.ds, s.opts.Alpha)
+}
+
+// Laggards classifies the study's process iterations.
+func (s *Study) Laggards() analysis.LaggardStats {
+	return analysis.Laggards(s.ds, s.opts.LaggardThresholdSec)
+}
+
+// Percentiles computes the per-iteration percentile series (the paper's
+// Figures 4/6/8).
+func (s *Study) Percentiles() *analysis.PercentileSeries {
+	return analysis.IterationPercentiles(s.ds, nil)
+}
+
+// Histogram builds the application-level arrival histogram with the
+// given bin width in seconds (the paper's Figure 3 uses 10e-6).
+func (s *Study) Histogram(binWidthSec float64) *stats.Histogram {
+	return analysis.ApplicationHistogram(s.ds, binWidthSec)
+}
+
+// Recommendation classifies how an application should employ early-bird
+// communication, following the paper's Section 5 discussion.
+type Recommendation string
+
+const (
+	// RecommendTimeoutFlush suits applications whose reclaimable time
+	// comes from laggards in a minority of iterations (MiniFE): transmit
+	// accumulated data on a timeout so early threads ship while the
+	// laggard computes.
+	RecommendTimeoutFlush Recommendation = "timeout-flush"
+	// RecommendFineGrained suits applications with persistently wide
+	// arrival distributions (MiniQMC): both binning and fine-grained
+	// early-bird transmission pay off.
+	RecommendFineGrained Recommendation = "fine-grained-or-binned"
+	// RecommendSophisticated flags applications with tight arrivals and
+	// rare, high-magnitude laggards (MiniMD phase 2): a simple overlap
+	// model is unlikely to succeed.
+	RecommendSophisticated Recommendation = "sophisticated-approach-needed"
+)
+
+// Assessment is the early-bird feasibility verdict for one application.
+type Assessment struct {
+	App string
+	// PotentialOverlapSec is the mean per-thread idle time available for
+	// overlap (reclaimable time / threads), the upper bound of Figure 2.
+	PotentialOverlapSec float64
+	// Results holds the delivery-strategy evaluation (bulk baseline,
+	// fine-grained, binned).
+	Results []partcomm.Result
+	// LaggardFraction and IQRToMedian feed the recommendation.
+	LaggardFraction float64
+	IQRToMedian     float64
+	Recommendation  Recommendation
+}
+
+// Feasibility evaluates delivery strategies over the study's arrival
+// data with one partition per thread of bytesPerPart bytes.
+//
+// The laggard fraction used for classification is computed with an
+// effective threshold of max(LaggardThresholdSec, 3 x mean IQR) so that
+// applications with intrinsically wide phases (MiniMD's initial
+// iterations) are not classified as laggard-driven when the spread is
+// symmetric rather than a straggling tail.
+func (s *Study) Feasibility(bytesPerPart int, fabric network.Fabric, binTimeoutSec float64) Assessment {
+	m := s.Metrics()
+	effThreshold := s.opts.LaggardThresholdSec
+	if t := 3 * m.IQRMeanSec; t > effThreshold {
+		effThreshold = t
+	}
+	a := Assessment{
+		App:                 s.ds.App,
+		PotentialOverlapSec: m.AvgReclaimableProcSec / float64(s.ds.Threads),
+		LaggardFraction:     analysis.Laggards(s.ds, effThreshold).Fraction,
+	}
+	if m.MeanMedianSec > 0 {
+		a.IQRToMedian = m.IQRMeanSec / m.MeanMedianSec
+	}
+	a.Results = partcomm.Evaluate(s.ds, bytesPerPart, fabric, []partcomm.Strategy{
+		partcomm.Bulk{},
+		partcomm.FineGrained{},
+		partcomm.Binned{TimeoutSec: binTimeoutSec},
+	})
+	switch {
+	case a.IQRToMedian > 0.05:
+		// Wide arrival distribution: over 5% of the median between the
+		// quartiles alone (MiniQMC's ratio is ~0.15).
+		a.Recommendation = RecommendFineGrained
+	case a.LaggardFraction > 0.10:
+		a.Recommendation = RecommendTimeoutFlush
+	default:
+		a.Recommendation = RecommendSophisticated
+	}
+	return a
+}
+
+// String renders the assessment.
+func (a Assessment) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: potential overlap %.2f ms/thread, laggard iterations %.1f%%, IQR/median %.3f -> %s\n",
+		a.App, 1e3*a.PotentialOverlapSec, 100*a.LaggardFraction, a.IQRToMedian, a.Recommendation)
+	for _, r := range a.Results {
+		fmt.Fprintf(&b, "  %s\n", r)
+	}
+	return b.String()
+}
+
+// WriteSummary renders the study's headline analysis to w.
+func (s *Study) WriteSummary(w io.Writer) {
+	fmt.Fprintf(w, "study %s: %d trials x %d ranks x %d iterations x %d threads\n",
+		s.ds.App, s.ds.Trials, s.ds.Ranks, s.ds.Iterations, s.ds.Threads)
+	fmt.Fprintln(w, s.Metrics())
+	fmt.Fprintln(w, s.Table1())
+	st := s.Laggards()
+	fmt.Fprintf(w, "laggards: %d/%d process iterations (%.1f%%), mean magnitude %.2f ms\n",
+		st.WithLaggard, st.Total, 100*st.Fraction, 1e3*st.MeanMagnitudeSec)
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"earlybird/internal/cluster"
+	"earlybird/internal/network"
+	"earlybird/internal/trace"
+	"earlybird/internal/workload"
+)
+
+var quickGeom = cluster.Config{Trials: 2, Ranks: 3, Iterations: 40, Threads: 48, Seed: 11}
+
+func quickStudy(t *testing.T, app string) *Study {
+	t.Helper()
+	s, err := NewStudy(Options{App: app, Geometry: quickGeom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewStudyRunsAllApps(t *testing.T) {
+	for _, app := range []string{"minife", "minimd", "miniqmc"} {
+		s := quickStudy(t, app)
+		if s.App() != app {
+			t.Errorf("app = %q", s.App())
+		}
+		if s.Dataset().NumSamples() != quickGeom.Trials*quickGeom.Ranks*quickGeom.Iterations*quickGeom.Threads {
+			t.Errorf("%s: wrong sample count", app)
+		}
+	}
+}
+
+func TestNewStudyOptionValidation(t *testing.T) {
+	if _, err := NewStudy(Options{}); err == nil {
+		t.Error("empty options accepted")
+	}
+	if _, err := NewStudy(Options{App: "nope"}); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := NewStudy(Options{App: "minife", Geometry: cluster.Config{Trials: -1, Ranks: 1, Iterations: 1, Threads: 1}}); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+}
+
+func TestNewStudyCustomModel(t *testing.T) {
+	m := &workload.NormalModel{AppName: "custom", MedianSec: 5e-3, SigmaSec: 0.1e-3}
+	s, err := NewStudy(Options{Model: m, Geometry: quickGeom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.App() != "custom" {
+		t.Fatalf("app = %q", s.App())
+	}
+}
+
+func TestFromDataset(t *testing.T) {
+	d := trace.NewDataset("x", 1, 1, 2, 4)
+	s, err := FromDataset(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.App() != "x" {
+		t.Fatal("app")
+	}
+	if _, err := FromDataset(nil); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	bad := trace.NewDataset("y", 1, 1, 1, 1)
+	bad.Times = nil
+	if _, err := FromDataset(bad); err == nil {
+		t.Error("invalid dataset accepted")
+	}
+}
+
+func TestStudyAnalysisSurface(t *testing.T) {
+	s := quickStudy(t, "minife")
+	m := s.Metrics()
+	if m.MeanMedianSec < 25e-3 || m.MeanMedianSec > 28e-3 {
+		t.Errorf("median %v", m.MeanMedianSec)
+	}
+	t1 := s.Table1()
+	if t1.App != "minife" {
+		t.Error("table1 app")
+	}
+	lg := s.Laggards()
+	if lg.Total != quickGeom.Trials*quickGeom.Ranks*quickGeom.Iterations {
+		t.Errorf("laggard total %d", lg.Total)
+	}
+	ps := s.Percentiles()
+	if len(ps.Values) != quickGeom.Iterations {
+		t.Errorf("percentile rows %d", len(ps.Values))
+	}
+	h := s.Histogram(10e-6)
+	if h.Total != s.Dataset().NumSamples() {
+		t.Errorf("histogram total %d", h.Total)
+	}
+}
+
+func TestFeasibilityRecommendations(t *testing.T) {
+	// The three applications should reproduce the paper's Section 5
+	// classification.
+	cases := map[string]Recommendation{
+		"minife":  RecommendTimeoutFlush,
+		"minimd":  RecommendSophisticated,
+		"miniqmc": RecommendFineGrained,
+	}
+	for app, want := range cases {
+		s := quickStudy(t, app)
+		a := s.Feasibility(1<<20, network.OmniPath(), 1e-3)
+		if a.Recommendation != want {
+			t.Errorf("%s: recommendation %q, want %q (laggards %.3f, iqr/median %.4f)",
+				app, a.Recommendation, want, a.LaggardFraction, a.IQRToMedian)
+		}
+		if len(a.Results) != 3 {
+			t.Errorf("%s: %d strategy results", app, len(a.Results))
+		}
+		if a.PotentialOverlapSec <= 0 {
+			t.Errorf("%s: potential overlap %v", app, a.PotentialOverlapSec)
+		}
+		if !strings.Contains(a.String(), app) {
+			t.Errorf("%s: render missing app name", app)
+		}
+	}
+}
+
+func TestFeasibilityOverlapOrdering(t *testing.T) {
+	// MiniQMC's wide arrivals must yield much more fine-grained overlap
+	// than MiniMD's tight ones (the paper's headline contrast).
+	qmc := quickStudy(t, "miniqmc").Feasibility(1<<20, network.OmniPath(), 1e-3)
+	md := quickStudy(t, "minimd").Feasibility(1<<20, network.OmniPath(), 1e-3)
+	var qmcOverlap, mdOverlap float64
+	for _, r := range qmc.Results {
+		if r.Strategy == "finegrained" {
+			qmcOverlap = r.MeanOverlapSec
+		}
+	}
+	for _, r := range md.Results {
+		if r.Strategy == "finegrained" {
+			mdOverlap = r.MeanOverlapSec
+		}
+	}
+	if qmcOverlap < 2*mdOverlap {
+		t.Errorf("qmc overlap %v not ≫ md overlap %v", qmcOverlap, mdOverlap)
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	s := quickStudy(t, "minimd")
+	var buf bytes.Buffer
+	s.WriteSummary(&buf)
+	out := buf.String()
+	for _, want := range []string{"minimd", "laggards:", "idle ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"earlybird/internal/omp"
+)
+
+func TestAblationPartitionSizeMonotone(t *testing.T) {
+	s := quickSuite()
+	sweep := s.AblationPartitionSize([]int{4 << 10, 256 << 10, 4 << 20})
+	for app, points := range sweep {
+		if len(points) != 3 {
+			t.Fatalf("%s: %d points", app, len(points))
+		}
+		// Early-bird overlap grows with partition size: bigger transfers
+		// leave more to hide behind the arrival spread.
+		if !(points[2].OverlapSec > points[0].OverlapSec) {
+			t.Errorf("%s: overlap not increasing with size: %v", app, points)
+		}
+		// Tiny partitions: fine-grained pays 48 message costs vs 1, so
+		// overlap can be slightly negative but must stay bounded by the
+		// extra per-message latencies.
+		if points[0].OverlapSec < -50e-6 {
+			t.Errorf("%s: small-partition overlap %v too negative", app, points[0].OverlapSec)
+		}
+	}
+}
+
+func TestAblationBinTimeoutDegeneratesToBulk(t *testing.T) {
+	s := quickSuite()
+	sweep := s.AblationBinTimeout([]float64{0.2e-3, 50e-3})
+	for app, points := range sweep {
+		// A 50 ms timeout exceeds every arrival spread, so binned ==
+		// one flush at tmax == bulk: overlap ~ 0.
+		last := points[len(points)-1]
+		if last.OverlapSec > 1e-4 || last.OverlapSec < -1e-4 {
+			t.Errorf("%s: huge-timeout overlap %v, want ~0 (bulk)", app, last.OverlapSec)
+		}
+	}
+	// QMC with a short timeout captures real overlap.
+	if sweep["miniqmc"][0].OverlapSec < 1e-3 {
+		t.Errorf("miniqmc short-timeout overlap %v too small", sweep["miniqmc"][0].OverlapSec)
+	}
+}
+
+func TestAblationLaggardThresholdMonotone(t *testing.T) {
+	s := quickSuite()
+	sweep := s.AblationLaggardThreshold([]float64{0.25e-3, 1e-3, 4e-3})
+	for app, points := range sweep {
+		for i := 1; i < len(points); i++ {
+			if points[i].OverlapSec > points[i-1].OverlapSec+1e-9 {
+				t.Errorf("%s: laggard fraction not non-increasing in threshold: %v", app, points)
+			}
+		}
+	}
+	// At 1 ms the MiniFE fraction matches the paper's band.
+	fe := sweep["minife"][1].OverlapSec
+	if fe < 0.15 || fe > 0.30 {
+		t.Errorf("minife fraction at 1ms = %v", fe)
+	}
+	// MiniQMC's wide normal spread trips any sub-10ms threshold.
+	if qmc := sweep["miniqmc"][0].OverlapSec; qmc < 0.95 {
+		t.Errorf("miniqmc fraction at 0.25ms = %v, want ~1", qmc)
+	}
+}
+
+func TestAblationSchedulesFlattenImbalance(t *testing.T) {
+	// Static on a triangular workload concentrates the expensive tail on
+	// the last thread (block partition); dynamic and guided spread it.
+	// The simulation is deterministic, so the claim is exact.
+	results := AblationSchedules(4, 96, 4000)
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	byName := map[omp.Schedule]ScheduleAblationResult{}
+	for _, r := range results {
+		byName[r.Schedule] = r
+		if r.MedianSec <= 0 {
+			t.Fatalf("%v: non-positive median %v", r.Schedule, r.MedianSec)
+		}
+	}
+	if byName[omp.Static].RangeSec < 5*byName[omp.Dynamic].RangeSec {
+		t.Errorf("static range %v not ≫ dynamic range %v",
+			byName[omp.Static].RangeSec, byName[omp.Dynamic].RangeSec)
+	}
+	if byName[omp.Static].RangeSec < 2*byName[omp.Guided].RangeSec {
+		t.Errorf("static range %v not ≫ guided range %v",
+			byName[omp.Static].RangeSec, byName[omp.Guided].RangeSec)
+	}
+	// Determinism.
+	again := AblationSchedules(4, 96, 4000)
+	for i := range again {
+		if again[i] != results[i] {
+			t.Fatal("schedule ablation not deterministic")
+		}
+	}
+}
+
+func TestWriteAblationReport(t *testing.T) {
+	s := quickSuite()
+	var buf bytes.Buffer
+	s.WriteAblationReport(&buf)
+	out := buf.String()
+	for _, want := range []string{"A1", "A2", "A3", "A4", "KiB", "timeout", "threshold", "static", "dynamic", "guided"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDistSweepFamiliesPresent(t *testing.T) {
+	s := quickSuite()
+	sweep := s.DistSweep(DefaultDistSweep())
+	for _, family := range []string{"normal", "single-laggard", "uniform"} {
+		if len(sweep[family]) == 0 {
+			t.Fatalf("family %s missing", family)
+		}
+	}
+}
+
+func TestDistSweepNormalOverlapGrowsWithSigma(t *testing.T) {
+	s := quickSuite()
+	sweep := s.DistSweep(DefaultDistSweep())
+	pts := sweep["normal"]
+	for i := 1; i < len(pts); i++ {
+		if pts[i].FineOverlapSec < pts[i-1].FineOverlapSec {
+			t.Errorf("fine overlap not monotone in sigma: %v then %v",
+				pts[i-1].FineOverlapSec, pts[i].FineOverlapSec)
+		}
+		if pts[i].PotentialSec <= pts[i-1].PotentialSec {
+			t.Errorf("potential not monotone in sigma")
+		}
+	}
+}
+
+func TestDistSweepLaggardMatchesFinepointsIntuition(t *testing.T) {
+	// Under the single-laggard assumption, all but one partition can ship
+	// while the laggard computes: the fine-grained overlap should approach
+	// min(lag, transfer time of n-1 partitions) as the lag grows.
+	s := quickSuite()
+	sweep := s.DistSweep(DefaultDistSweep())
+	pts := sweep["single-laggard"]
+	last := pts[len(pts)-1] // +25 ms laggard
+	f := s.Config().Fabric
+	fullTransfer := f.TransferTime(s.Config().BytesPerPartition * 47)
+	if last.FineOverlapSec < 0.8*fullTransfer {
+		t.Errorf("dominant laggard overlap %v, want >= 80%% of the 47-partition transfer %v",
+			last.FineOverlapSec, fullTransfer)
+	}
+	// Sub-threshold laggard (0.5 ms): overlap bounded by the lag itself.
+	first := pts[0]
+	if first.FineOverlapSec > 0.6e-3 {
+		t.Errorf("tiny laggard yielded %v overlap, want <= lag", first.FineOverlapSec)
+	}
+}
+
+func TestDistSweepWindowBoundsOverlap(t *testing.T) {
+	// The achieved overlap is bounded by both the arrival window (the
+	// link cannot hide more transfer time than exists before the last
+	// arrival) and the transfer time of the n-1 early partitions.
+	s := quickSuite()
+	sweep := s.DistSweep(DefaultDistSweep())
+	f := s.Config().Fabric
+	fullTransfer := f.TransferTime(s.Config().BytesPerPartition * 47)
+	for family, pts := range sweep {
+		for _, p := range pts {
+			if p.FineOverlapSec > p.WindowSec+1e-4 {
+				t.Errorf("%s/%s: overlap %v exceeds arrival window %v",
+					family, p.Label, p.FineOverlapSec, p.WindowSec)
+			}
+			if p.FineOverlapSec > fullTransfer+1e-4 {
+				t.Errorf("%s/%s: overlap %v exceeds 47-partition transfer %v",
+					family, p.Label, p.FineOverlapSec, fullTransfer)
+			}
+		}
+	}
+}
+
+func TestWriteDistSweepReport(t *testing.T) {
+	s := quickSuite()
+	var buf bytes.Buffer
+	s.WriteDistSweepReport(&buf, DefaultDistSweep())
+	out := buf.String()
+	for _, want := range []string{"D1", "normal", "single-laggard", "uniform", "potential"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

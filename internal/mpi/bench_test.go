@@ -1,0 +1,58 @@
+package mpi
+
+import "testing"
+
+func BenchmarkPingPong(b *testing.B) {
+	w := NewWorld(2)
+	payload := make([]byte, 4096)
+	done := make(chan struct{})
+	go func() {
+		c := w.Comm(1)
+		for {
+			msg := c.Recv(0, 1)
+			if msg.Tag == 1 && len(msg.Data) == 0 {
+				close(done)
+				return
+			}
+			c.Send(0, 2, msg.Data)
+		}
+	}()
+	c := w.Comm(0)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Send(1, 1, payload)
+		c.Recv(1, 2)
+	}
+	b.StopTimer()
+	c.Send(1, 1, nil)
+	<-done
+}
+
+func BenchmarkBarrier8(b *testing.B) {
+	w := NewWorld(8)
+	iters := b.N
+	b.ResetTimer()
+	if err := w.Run(func(c *Comm) error {
+		for i := 0; i < iters; i++ {
+			c.Barrier()
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkAllreduceSum8(b *testing.B) {
+	w := NewWorld(8)
+	iters := b.N
+	b.ResetTimer()
+	if err := w.Run(func(c *Comm) error {
+		for i := 0; i < iters; i++ {
+			c.AllreduceSum(1)
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,315 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []byte("hello"))
+			return nil
+		}
+		msg := c.Recv(0, 7)
+		if string(msg.Data) != "hello" || msg.Src != 0 || msg.Tag != 7 {
+			return fmt.Errorf("bad message %+v", msg)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMatchingOutOfOrder(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []byte("first"))
+			c.Send(1, 2, []byte("second"))
+			c.Send(1, 3, []byte("third"))
+			return nil
+		}
+		// Receive in reverse tag order; the unexpected queue must buffer.
+		if got := string(c.Recv(0, 3).Data); got != "third" {
+			return fmt.Errorf("tag 3 = %q", got)
+		}
+		if got := string(c.Recv(0, 1).Data); got != "first" {
+			return fmt.Errorf("tag 1 = %q", got)
+		}
+		if got := string(c.Recv(0, 2).Data); got != "second" {
+			return fmt.Errorf("tag 2 = %q", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameTagFIFOOrder(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		const n = 100
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(1, 5, []byte{byte(i)})
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			if got := c.Recv(0, 5).Data[0]; got != byte(i) {
+				return fmt.Errorf("message %d arrived as %d", i, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			if _, ok := c.TryRecv(1, 9); ok {
+				return fmt.Errorf("TryRecv matched before send")
+			}
+			c.Barrier() // let rank 1 send
+			c.Barrier() // ensure send completed
+			msg, ok := c.TryRecv(1, 9)
+			if !ok || string(msg.Data) != "x" {
+				return fmt.Errorf("TryRecv after send: ok=%v", ok)
+			}
+			return nil
+		}
+		c.Barrier()
+		c.Send(0, 9, []byte("x"))
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryRecvBuffersMismatches(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			c.Send(0, 4, []byte("tag4"))
+			c.Send(0, 6, []byte("tag6"))
+		}
+		c.Barrier() // both ranks: sends are buffered before Run returns
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-threaded follow-up on rank 0's endpoint.
+	c := w.Comm(0)
+	if _, ok := c.TryRecv(1, 5); ok {
+		t.Fatal("matched nonexistent tag")
+	}
+	if msg, ok := c.TryRecv(1, 6); !ok || string(msg.Data) != "tag6" {
+		t.Fatal("tag 6 not matched after buffering")
+	}
+	if msg, ok := c.TryRecv(1, 4); !ok || string(msg.Data) != "tag4" {
+		t.Fatal("tag 4 lost from unexpected queue")
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	w := NewWorld(8)
+	counter := make(chan int, 64)
+	err := w.Run(func(c *Comm) error {
+		counter <- 1
+		c.Barrier()
+		// After the barrier all 8 pre-barrier marks must be visible.
+		if len(counter) != 8 {
+			return fmt.Errorf("rank %d: saw %d marks", c.Rank(), len(counter))
+		}
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	w := NewWorld(4)
+	err := w.Run(func(c *Comm) error {
+		data := []byte{byte(c.Rank() * 10)}
+		out := c.Gather(2, data)
+		if c.Rank() != 2 {
+			if out != nil {
+				return fmt.Errorf("rank %d: non-root got data", c.Rank())
+			}
+			return nil
+		}
+		if len(out) != 4 {
+			return fmt.Errorf("root got %d pieces", len(out))
+		}
+		for r, piece := range out {
+			if !bytes.Equal(piece, []byte{byte(r * 10)}) {
+				return fmt.Errorf("piece %d = %v", r, piece)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherRepeated(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(func(c *Comm) error {
+		for round := 0; round < 20; round++ {
+			out := c.Gather(0, []byte{byte(c.Rank()), byte(round)})
+			if c.Rank() == 0 {
+				for r, piece := range out {
+					if piece[0] != byte(r) || piece[1] != byte(round) {
+						return fmt.Errorf("round %d piece %d = %v", round, r, piece)
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	w := NewWorld(5)
+	err := w.Run(func(c *Comm) error {
+		for round := 0; round < 10; round++ {
+			got := c.AllreduceSum(float64(c.Rank()) + float64(round))
+			want := 10.0 + 5*float64(round) // sum 0..4 + 5*round
+			if got != want {
+				return fmt.Errorf("rank %d round %d: sum %v, want %v", c.Rank(), round, got, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInvalidRanksPanic(t *testing.T) {
+	w := NewWorld(2)
+	for _, fn := range []func(){
+		func() { w.Comm(2) },
+		func() { w.Comm(-1) },
+		func() { w.Comm(0).Send(5, 0, nil) },
+		func() { NewWorld(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWorldSize(t *testing.T) {
+	if NewWorld(8).Size() != 8 {
+		t.Fatal("size")
+	}
+	w := NewWorld(3)
+	if w.Comm(1).Size() != 3 || w.Comm(1).Rank() != 1 {
+		t.Fatal("comm accessors")
+	}
+}
+
+func TestBcast(t *testing.T) {
+	w := NewWorld(4)
+	err := w.Run(func(c *Comm) error {
+		var data []byte
+		if c.Rank() == 2 {
+			data = []byte("payload")
+		}
+		got := c.Bcast(2, data)
+		if string(got) != "payload" {
+			return fmt.Errorf("rank %d got %q", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceMax(t *testing.T) {
+	w := NewWorld(5)
+	err := w.Run(func(c *Comm) error {
+		for round := 0; round < 5; round++ {
+			got := c.AllreduceMax(float64(c.Rank()*10 + round))
+			want := float64(40 + round)
+			if got != want {
+				return fmt.Errorf("rank %d round %d: max %v, want %v", c.Rank(), round, got, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvRing(t *testing.T) {
+	w := NewWorld(4)
+	err := w.Run(func(c *Comm) error {
+		dst := (c.Rank() + 1) % c.Size()
+		src := (c.Rank() + c.Size() - 1) % c.Size()
+		msg := c.Sendrecv(dst, src, 9, []byte{byte(c.Rank())})
+		if msg.Data[0] != byte(src) {
+			return fmt.Errorf("rank %d received from %d, want %d", c.Rank(), msg.Data[0], src)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedCollectivesInOrder(t *testing.T) {
+	// Sum and Max collectives interleaved must not cross-contaminate.
+	w := NewWorld(3)
+	err := w.Run(func(c *Comm) error {
+		s := c.AllreduceSum(1)
+		m := c.AllreduceMax(float64(c.Rank()))
+		s2 := c.AllreduceSum(2)
+		if s != 3 || m != 2 || s2 != 6 {
+			return fmt.Errorf("rank %d: s=%v m=%v s2=%v", c.Rank(), s, m, s2)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+// Package network models the cluster interconnect with the Hockney
+// alpha-beta cost model: transferring m bytes costs
+// alpha + m/beta (+ a per-message software overhead), and a link
+// serialises concurrent transfers.
+//
+// The paper's testbed uses Intel Omni-Path (100 Gb/s class); the
+// early-bird overlap experiments (E12) use these parameters to convert
+// the measured thread-arrival spreads into transmission timelines.
+package network
+
+import "fmt"
+
+// Fabric is an alpha-beta interconnect parameterisation.
+type Fabric struct {
+	// LatencySec is the per-message wire latency (alpha).
+	LatencySec float64
+	// BandwidthBytesPerSec is the link bandwidth (beta).
+	BandwidthBytesPerSec float64
+	// OverheadSec is the per-message host software overhead (injection
+	// cost), paid once per message regardless of size.
+	OverheadSec float64
+}
+
+// OmniPath returns parameters representative of the paper's 100 Gb/s
+// Intel Omni-Path fabric: ~1 microsecond latency, 12.5 GB/s, with a small
+// per-message injection overhead.
+func OmniPath() Fabric {
+	return Fabric{
+		LatencySec:           1.0e-6,
+		BandwidthBytesPerSec: 12.5e9,
+		OverheadSec:          0.3e-6,
+	}
+}
+
+// Validate checks the parameters.
+func (f Fabric) Validate() error {
+	if f.LatencySec < 0 || f.BandwidthBytesPerSec <= 0 || f.OverheadSec < 0 {
+		return fmt.Errorf("network: invalid fabric %+v", f)
+	}
+	return nil
+}
+
+// TransferTime returns the cost of one message of the given size.
+func (f Fabric) TransferTime(bytes int) float64 {
+	if bytes < 0 {
+		bytes = 0
+	}
+	return f.LatencySec + f.OverheadSec + float64(bytes)/f.BandwidthBytesPerSec
+}
+
+// Link is a serialising wire: transfers occupy it back-to-back. The zero
+// value of busy means the link is free from time 0.
+type Link struct {
+	fabric Fabric
+	busy   float64
+	sent   int // messages pushed
+	bytes  int // payload bytes pushed
+}
+
+// NewLink returns an idle link over the fabric.
+func NewLink(f Fabric) *Link {
+	return &Link{fabric: f}
+}
+
+// Send schedules a message of the given size that becomes ready at time
+// ready (seconds) and returns its completion time. The link serialises:
+// the message starts no earlier than the previous one finished.
+func (l *Link) Send(ready float64, bytes int) (done float64) {
+	start := ready
+	if l.busy > start {
+		start = l.busy
+	}
+	done = start + l.fabric.TransferTime(bytes)
+	l.busy = done
+	l.sent++
+	l.bytes += bytes
+	return done
+}
+
+// BusyUntil returns the time the link becomes free.
+func (l *Link) BusyUntil() float64 { return l.busy }
+
+// Stats returns the number of messages and payload bytes pushed.
+func (l *Link) Stats() (messages, payloadBytes int) { return l.sent, l.bytes }
+
+// Reset returns the link to idle at time 0.
+func (l *Link) Reset() {
+	l.busy = 0
+	l.sent = 0
+	l.bytes = 0
+}

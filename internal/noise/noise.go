@@ -1,0 +1,105 @@
+// Package noise models operating-system interference on compute threads.
+//
+// The paper attributes laggard threads in part to OS noise (citing Morari
+// et al.'s quantitative noise analysis). This package provides composable
+// noise injectors that perturb a thread's nominal compute time the way
+// real interference would: periodic daemons preempting the core, random
+// interrupts, and persistent per-core slowdowns. The cluster runner applies
+// them to live kernels and the workload models use them to validate the
+// analysis pipeline's laggard detection.
+package noise
+
+import (
+	"time"
+
+	"earlybird/internal/rng"
+)
+
+// Model perturbs a nominal compute duration into an observed one. base is
+// the noise-free compute time of one thread in one region; the returned
+// duration must be >= 0.
+type Model interface {
+	Perturb(s *rng.Source, base time.Duration) time.Duration
+}
+
+// None returns base unchanged.
+type None struct{}
+
+// Perturb implements Model.
+func (None) Perturb(_ *rng.Source, base time.Duration) time.Duration { return base }
+
+// PeriodicDaemon models a system daemon that wakes every Period and steals
+// Cost of CPU when it lands on this core. The number of wakeups during a
+// region is Poisson with mean base/Period scaled by the probability
+// Affinity that the daemon runs on the observed core.
+type PeriodicDaemon struct {
+	Period   time.Duration
+	Cost     time.Duration
+	Affinity float64 // probability a wakeup lands on this core, [0,1]
+}
+
+// Perturb implements Model.
+func (d PeriodicDaemon) Perturb(s *rng.Source, base time.Duration) time.Duration {
+	if d.Period <= 0 || d.Cost <= 0 || d.Affinity <= 0 {
+		return base
+	}
+	mean := float64(base) / float64(d.Period) * d.Affinity
+	hits := s.Poisson(mean)
+	return base + time.Duration(hits)*d.Cost
+}
+
+// RandomInterrupt models asynchronous interrupts arriving at Rate per
+// second, each costing an exponentially distributed service time with mean
+// MeanCost.
+type RandomInterrupt struct {
+	Rate     float64 // interrupts per second of compute
+	MeanCost time.Duration
+}
+
+// Perturb implements Model.
+func (r RandomInterrupt) Perturb(s *rng.Source, base time.Duration) time.Duration {
+	if r.Rate <= 0 || r.MeanCost <= 0 {
+		return base
+	}
+	n := s.Poisson(r.Rate * base.Seconds())
+	extra := time.Duration(0)
+	for i := 0; i < n; i++ {
+		extra += time.Duration(s.Exp(float64(r.MeanCost)))
+	}
+	return base + extra
+}
+
+// CoreSlowdown models a persistent slow core (thermal throttling, a noisy
+// neighbour): with probability Prob the whole region runs Factor times
+// slower. This is the paper's high-magnitude laggard generator.
+type CoreSlowdown struct {
+	Prob   float64
+	Factor float64 // > 1
+}
+
+// Perturb implements Model.
+func (c CoreSlowdown) Perturb(s *rng.Source, base time.Duration) time.Duration {
+	if c.Prob <= 0 || c.Factor <= 1 {
+		return base
+	}
+	if s.Bernoulli(c.Prob) {
+		return time.Duration(float64(base) * c.Factor)
+	}
+	return base
+}
+
+// Stack applies each model in order, feeding the output of one into the
+// next.
+type Stack []Model
+
+// Perturb implements Model.
+func (st Stack) Perturb(s *rng.Source, base time.Duration) time.Duration {
+	d := base
+	for _, m := range st {
+		d = m.Perturb(s, d)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}

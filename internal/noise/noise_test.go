@@ -1,0 +1,128 @@
+package noise
+
+import (
+	"testing"
+	"time"
+
+	"earlybird/internal/rng"
+)
+
+func TestNonePassthrough(t *testing.T) {
+	s := rng.New(1)
+	base := 25 * time.Millisecond
+	if got := (None{}).Perturb(s, base); got != base {
+		t.Fatalf("None changed duration: %v", got)
+	}
+}
+
+func TestPeriodicDaemonAddsCost(t *testing.T) {
+	s := rng.New(2)
+	d := PeriodicDaemon{Period: time.Millisecond, Cost: 100 * time.Microsecond, Affinity: 1}
+	base := 25 * time.Millisecond
+	sum := time.Duration(0)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		got := d.Perturb(s, base)
+		if got < base {
+			t.Fatalf("noise shortened compute: %v < %v", got, base)
+		}
+		sum += got - base
+	}
+	// Expected extra per region: ~25 wakeups x 100us = 2.5ms.
+	mean := sum / n
+	if mean < 2*time.Millisecond || mean > 3*time.Millisecond {
+		t.Errorf("mean extra = %v, want ~2.5ms", mean)
+	}
+}
+
+func TestPeriodicDaemonDisabledConfigs(t *testing.T) {
+	s := rng.New(3)
+	base := time.Millisecond
+	for _, d := range []PeriodicDaemon{
+		{Period: 0, Cost: time.Microsecond, Affinity: 1},
+		{Period: time.Millisecond, Cost: 0, Affinity: 1},
+		{Period: time.Millisecond, Cost: time.Microsecond, Affinity: 0},
+	} {
+		if got := d.Perturb(s, base); got != base {
+			t.Errorf("disabled daemon %+v perturbed: %v", d, got)
+		}
+	}
+}
+
+func TestRandomInterruptMean(t *testing.T) {
+	s := rng.New(4)
+	r := RandomInterrupt{Rate: 1000, MeanCost: 50 * time.Microsecond}
+	base := 20 * time.Millisecond // expect ~20 interrupts x 50us = 1ms extra
+	sum := time.Duration(0)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		got := r.Perturb(s, base)
+		if got < base {
+			t.Fatalf("interrupts shortened compute")
+		}
+		sum += got - base
+	}
+	mean := sum / n
+	if mean < 700*time.Microsecond || mean > 1300*time.Microsecond {
+		t.Errorf("mean extra = %v, want ~1ms", mean)
+	}
+}
+
+func TestCoreSlowdownProbability(t *testing.T) {
+	s := rng.New(5)
+	c := CoreSlowdown{Prob: 0.25, Factor: 2}
+	base := 10 * time.Millisecond
+	slow := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		got := c.Perturb(s, base)
+		switch got {
+		case base:
+		case 2 * base:
+			slow++
+		default:
+			t.Fatalf("unexpected duration %v", got)
+		}
+	}
+	rate := float64(slow) / n
+	if rate < 0.22 || rate > 0.28 {
+		t.Errorf("slowdown rate = %v, want ~0.25", rate)
+	}
+}
+
+func TestStackComposes(t *testing.T) {
+	s := rng.New(6)
+	st := Stack{
+		CoreSlowdown{Prob: 1, Factor: 2},
+		CoreSlowdown{Prob: 1, Factor: 3},
+	}
+	base := time.Millisecond
+	if got := st.Perturb(s, base); got != 6*time.Millisecond {
+		t.Fatalf("stack = %v, want 6ms", got)
+	}
+}
+
+func TestStackEmptyIsIdentity(t *testing.T) {
+	s := rng.New(7)
+	if got := (Stack{}).Perturb(s, time.Second); got != time.Second {
+		t.Fatalf("empty stack = %v", got)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	s := rng.New(8)
+	for _, lambda := range []float64{0.5, 5, 100} {
+		sum := 0.0
+		const n = 50000
+		for i := 0; i < n; i++ {
+			sum += float64(s.Poisson(lambda))
+		}
+		mean := sum / n
+		if mean < lambda*0.95-0.05 || mean > lambda*1.05+0.05 {
+			t.Errorf("poisson(%v) mean = %v", lambda, mean)
+		}
+	}
+	if s.Poisson(0) != 0 || s.Poisson(-1) != 0 {
+		t.Error("nonpositive lambda should give 0")
+	}
+}

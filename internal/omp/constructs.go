@@ -1,0 +1,111 @@
+package omp
+
+import "sync"
+
+// This file adds the remaining OpenMP work-coordination constructs used
+// by real proxy applications: critical sections, single/master regions
+// and a scalar reduction. They are not needed by the paper's Listing 1
+// instrumentation but complete the runtime for porting richer compute
+// sections (MiniMD's neighbour rebuild runs under a critical section in
+// some configurations, and reductions close most solver loops).
+
+// constructState is lazily attached to a region.
+type constructState struct {
+	mu        sync.Mutex
+	criticals map[string]*sync.Mutex
+	singles   []*sync.Once
+
+	redMu sync.Mutex
+	// reductions are keyed by call-site sequence number so back-to-back
+	// reductions never share an accumulator.
+	reductions map[int]*redAcc
+}
+
+type redAcc struct {
+	val     float64
+	readers int
+}
+
+func (r *region) constructs() *constructState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cs == nil {
+		r.cs = &constructState{criticals: map[string]*sync.Mutex{}, reductions: map[int]*redAcc{}}
+	}
+	return r.cs
+}
+
+// Critical executes fn under the named region-wide mutex, equivalent to
+// "#pragma omp critical(name)". Different names lock independently.
+func (tc *ThreadContext) Critical(name string, fn func()) {
+	cs := tc.region.constructs()
+	cs.mu.Lock()
+	m := cs.criticals[name]
+	if m == nil {
+		m = &sync.Mutex{}
+		cs.criticals[name] = m
+	}
+	cs.mu.Unlock()
+	m.Lock()
+	defer m.Unlock()
+	fn()
+}
+
+// Single executes fn on exactly one thread of the team — whichever
+// reaches the construct first — and reports whether this thread ran it.
+// As with the runtime's loops there is no implied barrier (nowait
+// semantics); call tc.Barrier() if the team must wait for the result.
+func (tc *ThreadContext) Single(fn func()) bool {
+	seq := tc.singleSeq
+	tc.singleSeq++
+	cs := tc.region.constructs()
+	cs.mu.Lock()
+	for len(cs.singles) <= seq {
+		cs.singles = append(cs.singles, &sync.Once{})
+	}
+	once := cs.singles[seq]
+	cs.mu.Unlock()
+	ran := false
+	once.Do(func() {
+		fn()
+		ran = true
+	})
+	return ran
+}
+
+// Master executes fn only on thread 0, "#pragma omp master" (no implied
+// barrier). It reports whether this thread ran it.
+func (tc *ThreadContext) Master(fn func()) bool {
+	if tc.id != 0 {
+		return false
+	}
+	fn()
+	return true
+}
+
+// ReduceSum is a region-wide sum reduction: every thread contributes x
+// once per call site, and after the implied barrier each thread receives
+// the team-wide total (like "reduction(+:x)" at the end of a loop).
+// Every thread of the team must call it the same number of times.
+func (tc *ThreadContext) ReduceSum(x float64) float64 {
+	seq := tc.reduceSeq
+	tc.reduceSeq++
+	cs := tc.region.constructs()
+	cs.redMu.Lock()
+	acc := cs.reductions[seq]
+	if acc == nil {
+		acc = &redAcc{}
+		cs.reductions[seq] = acc
+	}
+	acc.val += x
+	cs.redMu.Unlock()
+	tc.Barrier() // all contributions are in
+	cs.redMu.Lock()
+	total := acc.val
+	acc.readers++
+	if acc.readers == tc.pool.n {
+		delete(cs.reductions, seq)
+	}
+	cs.redMu.Unlock()
+	return total
+}

@@ -1,0 +1,147 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestCriticalMutualExclusion(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	counter := 0 // unsynchronised on purpose; Critical must protect it
+	p.Parallel(func(tc *ThreadContext) {
+		for i := 0; i < 500; i++ {
+			tc.Critical("counter", func() {
+				counter++
+			})
+		}
+	})
+	if counter != 8*500 {
+		t.Fatalf("counter = %d, want %d (critical section leaked)", counter, 8*500)
+	}
+}
+
+func TestCriticalNamesIndependent(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	release := make(chan struct{})
+	var secondRan atomic.Bool
+	p.Parallel(func(tc *ThreadContext) {
+		if tc.ThreadNum() == 0 {
+			tc.Critical("a", func() {
+				<-release // hold "a" until the other critical ran
+			})
+			return
+		}
+		tc.Critical("b", func() {
+			secondRan.Store(true)
+		})
+		close(release)
+	})
+	if !secondRan.Load() {
+		t.Fatal("different critical names blocked each other")
+	}
+}
+
+func TestSingleRunsExactlyOnce(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	var runs, owners atomic.Int32
+	p.Parallel(func(tc *ThreadContext) {
+		for k := 0; k < 10; k++ {
+			ran := tc.Single(func() {
+				runs.Add(1)
+			})
+			if ran {
+				owners.Add(1)
+			}
+			tc.Barrier()
+		}
+	})
+	if runs.Load() != 10 {
+		t.Fatalf("single bodies ran %d times, want 10", runs.Load())
+	}
+	if owners.Load() != 10 {
+		t.Fatalf("owner count %d, want 10", owners.Load())
+	}
+}
+
+func TestSinglePerRegionReset(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var runs atomic.Int32
+	for r := 0; r < 5; r++ {
+		p.Parallel(func(tc *ThreadContext) {
+			tc.Single(func() { runs.Add(1) })
+		})
+	}
+	if runs.Load() != 5 {
+		t.Fatalf("single ran %d times across 5 regions", runs.Load())
+	}
+}
+
+func TestMasterOnlyThreadZero(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var who atomic.Int32
+	who.Store(-1)
+	var rans atomic.Int32
+	p.Parallel(func(tc *ThreadContext) {
+		if tc.Master(func() { who.Store(int32(tc.ThreadNum())) }) {
+			rans.Add(1)
+		}
+	})
+	if who.Load() != 0 || rans.Load() != 1 {
+		t.Fatalf("master ran on thread %d (%d times)", who.Load(), rans.Load())
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	p := NewPool(6)
+	defer p.Close()
+	var failed atomic.Bool
+	p.Parallel(func(tc *ThreadContext) {
+		// Two back-to-back reductions must not share accumulators.
+		a := tc.ReduceSum(float64(tc.ThreadNum()))
+		b := tc.ReduceSum(1)
+		if a != 15 || b != 6 {
+			failed.Store(true)
+		}
+	})
+	if failed.Load() {
+		t.Fatal("reduction produced wrong totals")
+	}
+}
+
+func TestReduceSumManyRounds(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var failed atomic.Bool
+	p.Parallel(func(tc *ThreadContext) {
+		for round := 1; round <= 50; round++ {
+			got := tc.ReduceSum(float64(round))
+			if got != float64(4*round) {
+				failed.Store(true)
+			}
+		}
+	})
+	if failed.Load() {
+		t.Fatal("repeated reductions corrupted")
+	}
+}
+
+func TestReduceSumAcrossRegions(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	for r := 0; r < 10; r++ {
+		var failed atomic.Bool
+		p.Parallel(func(tc *ThreadContext) {
+			if tc.ReduceSum(2) != 6 {
+				failed.Store(true)
+			}
+		})
+		if failed.Load() {
+			t.Fatalf("region %d: reduction wrong", r)
+		}
+	}
+}

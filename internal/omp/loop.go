@@ -1,0 +1,115 @@
+package omp
+
+import "sync/atomic"
+
+// loopState is the shared state of one work-sharing loop instance.
+type loopState struct {
+	n        int
+	nthreads int
+	sched    Schedule
+	chunk    int
+	next     atomic.Int64 // shared iteration cursor (dynamic, guided)
+}
+
+func newLoopState(n, nthreads int, sched Schedule, chunk int) *loopState {
+	if chunk <= 0 {
+		switch sched {
+		case Static:
+			chunk = 0 // block partition
+		default:
+			chunk = 1
+		}
+	}
+	return &loopState{n: n, nthreads: nthreads, sched: sched, chunk: chunk}
+}
+
+func (ls *loopState) run(tid int, body func(i int)) {
+	switch ls.sched {
+	case Static:
+		ls.runStatic(tid, body)
+	case Dynamic:
+		ls.runDynamic(body)
+	case Guided:
+		ls.runGuided(body)
+	default:
+		ls.runStatic(tid, body)
+	}
+}
+
+// runStatic executes the thread's statically assigned iterations. With
+// chunk == 0 the iteration space is divided into at most nthreads
+// contiguous blocks whose sizes differ by at most one (OpenMP's default
+// static schedule); with chunk > 0, chunks are assigned round-robin.
+func (ls *loopState) runStatic(tid int, body func(i int)) {
+	if ls.chunk == 0 {
+		base := ls.n / ls.nthreads
+		rem := ls.n % ls.nthreads
+		start := tid * base
+		if tid < rem {
+			start += tid
+		} else {
+			start += rem
+		}
+		count := base
+		if tid < rem {
+			count++
+		}
+		for i := start; i < start+count; i++ {
+			body(i)
+		}
+		return
+	}
+	for start := tid * ls.chunk; start < ls.n; start += ls.nthreads * ls.chunk {
+		end := start + ls.chunk
+		if end > ls.n {
+			end = ls.n
+		}
+		for i := start; i < end; i++ {
+			body(i)
+		}
+	}
+}
+
+// runDynamic pulls fixed-size chunks from the shared cursor until the
+// iteration space is exhausted.
+func (ls *loopState) runDynamic(body func(i int)) {
+	for {
+		start := int(ls.next.Add(int64(ls.chunk))) - ls.chunk
+		if start >= ls.n {
+			return
+		}
+		end := start + ls.chunk
+		if end > ls.n {
+			end = ls.n
+		}
+		for i := start; i < end; i++ {
+			body(i)
+		}
+	}
+}
+
+// runGuided pulls exponentially shrinking chunks: each grab takes
+// remaining/nthreads iterations, bounded below by the chunk size.
+func (ls *loopState) runGuided(body func(i int)) {
+	for {
+		cur := int(ls.next.Load())
+		if cur >= ls.n {
+			return
+		}
+		grab := (ls.n - cur) / ls.nthreads
+		if grab < ls.chunk {
+			grab = ls.chunk
+		}
+		start := int(ls.next.Add(int64(grab))) - grab
+		if start >= ls.n {
+			return
+		}
+		end := start + grab
+		if end > ls.n {
+			end = ls.n
+		}
+		for i := start; i < end; i++ {
+			body(i)
+		}
+	}
+}

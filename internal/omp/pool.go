@@ -1,0 +1,187 @@
+// Package omp is a small OpenMP-like fork/join runtime: a pool of
+// persistent worker goroutines that execute parallel regions with
+// work-sharing loops (static, dynamic and guided schedules), explicit
+// barriers, and nowait semantics.
+//
+// It exists so that the paper's instrumentation pattern (Listing 1) can be
+// reproduced verbatim in Go:
+//
+//	pool.Parallel(func(tc *omp.ThreadContext) {
+//	    t := tc.ThreadNum()
+//	    tc.Barrier()                    // #pragma omp barrier
+//	    tStart[i][t] = clock.Now(t)     // clock_gettime(CLOCK_MONOTONIC, ...)
+//	    tc.For(n, omp.Static, 0, func(j int) { /* work */ }) // for nowait
+//	    tEnd[i][t] = clock.Now(t)
+//	    tc.Barrier()                    // #pragma omp barrier
+//	})
+//
+// Loops never include an implied barrier — they are all "nowait", matching
+// the instrumentation's requirement that each thread's exit timestamp be
+// taken immediately after its own share of the iterations.
+package omp
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Schedule selects a work-sharing loop schedule, mirroring OpenMP's
+// schedule(static|dynamic|guided) clauses.
+type Schedule int
+
+const (
+	// Static divides iterations into contiguous equal blocks, one per
+	// thread (chunk == 0), or round-robins fixed chunks (chunk > 0).
+	Static Schedule = iota
+	// Dynamic hands out fixed-size chunks from a shared counter on demand.
+	Dynamic
+	// Guided hands out exponentially shrinking chunks with a minimum
+	// chunk size.
+	Guided
+)
+
+// String returns the OpenMP clause name of the schedule.
+func (s Schedule) String() string {
+	switch s {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	default:
+		return "unknown"
+	}
+}
+
+// Pool is a team of persistent worker goroutines, analogous to the OpenMP
+// thread team of one process. A Pool must be closed when no longer needed.
+type Pool struct {
+	n       int
+	tasks   []chan task
+	wg      sync.WaitGroup // tracks worker goroutines for Close
+	closed  atomic.Bool
+	barrier *Barrier
+}
+
+type task struct {
+	body func(tc *ThreadContext)
+	reg  *region
+	done *sync.WaitGroup
+}
+
+// NewPool starts a team of n worker goroutines (n >= 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		panic("omp: pool size must be >= 1")
+	}
+	p := &Pool{
+		n:       n,
+		tasks:   make([]chan task, n),
+		barrier: NewBarrier(n),
+	}
+	for i := 0; i < n; i++ {
+		p.tasks[i] = make(chan task)
+		p.wg.Add(1)
+		go p.worker(i)
+	}
+	return p
+}
+
+func (p *Pool) worker(id int) {
+	defer p.wg.Done()
+	for t := range p.tasks[id] {
+		tc := &ThreadContext{id: id, pool: p, region: t.reg}
+		t.body(tc)
+		t.done.Done()
+	}
+}
+
+// NumThreads returns the team size (omp_get_num_threads).
+func (p *Pool) NumThreads() int { return p.n }
+
+// Parallel runs body once on every thread of the team and returns when all
+// threads have finished — a fork/join parallel region.
+func (p *Pool) Parallel(body func(tc *ThreadContext)) {
+	if p.closed.Load() {
+		panic("omp: Parallel on closed pool")
+	}
+	reg := &region{}
+	var done sync.WaitGroup
+	done.Add(p.n)
+	for i := 0; i < p.n; i++ {
+		p.tasks[i] <- task{body: body, reg: reg, done: &done}
+	}
+	done.Wait()
+}
+
+// ParallelFor is shorthand for a parallel region containing a single
+// work-shared loop over [0, n).
+func (p *Pool) ParallelFor(n int, sched Schedule, chunk int, body func(i int)) {
+	p.Parallel(func(tc *ThreadContext) {
+		tc.For(n, sched, chunk, body)
+	})
+}
+
+// Close shuts the team down. The pool must not be used afterwards.
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	for _, ch := range p.tasks {
+		close(ch)
+	}
+	p.wg.Wait()
+}
+
+// region holds the per-parallel-region shared state: one loopState per
+// textual work-sharing construct, identified by the order in which threads
+// reach it (all threads of a region must execute the same sequence of
+// work-sharing constructs, as in OpenMP).
+type region struct {
+	mu    sync.Mutex
+	loops []*loopState
+	cs    *constructState
+}
+
+func (r *region) loop(seq, n, nthreads int, sched Schedule, chunk int) *loopState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.loops) <= seq {
+		r.loops = append(r.loops, nil)
+	}
+	if r.loops[seq] == nil {
+		r.loops[seq] = newLoopState(n, nthreads, sched, chunk)
+	}
+	return r.loops[seq]
+}
+
+// ThreadContext is the per-thread view of a parallel region.
+type ThreadContext struct {
+	id        int
+	pool      *Pool
+	region    *region
+	loopSeq   int
+	singleSeq int
+	reduceSeq int
+}
+
+// ThreadNum returns this thread's id within the team (omp_get_thread_num).
+func (tc *ThreadContext) ThreadNum() int { return tc.id }
+
+// NumThreads returns the team size.
+func (tc *ThreadContext) NumThreads() int { return tc.pool.n }
+
+// Barrier blocks until every thread of the team has reached it.
+func (tc *ThreadContext) Barrier() { tc.pool.barrier.Wait() }
+
+// For executes a work-shared loop over [0, n) with the given schedule.
+// chunk <= 0 selects the schedule's default (block partition for static,
+// 1 for dynamic and guided). The loop is always "nowait": the thread
+// returns as soon as its own iterations are done.
+func (tc *ThreadContext) For(n int, sched Schedule, chunk int, body func(i int)) {
+	seq := tc.loopSeq
+	tc.loopSeq++
+	ls := tc.region.loop(seq, n, tc.pool.n, sched, chunk)
+	ls.run(tc.id, body)
+}

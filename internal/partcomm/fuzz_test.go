@@ -1,0 +1,102 @@
+package partcomm
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"earlybird/internal/mpi"
+	"earlybird/internal/network"
+)
+
+// Property: a partitioned transfer delivers the exact payload for any
+// partition count and any ready-order permutation.
+func TestPartitionedTransferPermutationProperty(t *testing.T) {
+	check := func(rawParts uint8, rawPartSize uint8, perm []uint8) bool {
+		parts := int(rawParts%15) + 1
+		partSize := int(rawPartSize%64) + 1
+		payload := make([]byte, parts*partSize)
+		for i := range payload {
+			payload[i] = byte(i * 7)
+		}
+		// Build a ready order from the permutation hints.
+		order := make([]int, parts)
+		for i := range order {
+			order[i] = i
+		}
+		for i, p := range perm {
+			j := int(p) % parts
+			order[i%parts], order[j] = order[j], order[i%parts]
+		}
+
+		w := mpi.NewWorld(2)
+		err := w.Run(func(c *mpi.Comm) error {
+			if c.Rank() == 0 {
+				ps, err := NewSend(c, 1, 2, payload, parts)
+				if err != nil {
+					return err
+				}
+				for _, i := range order {
+					if err := ps.Pready(i); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			pr, err := NewRecv(c, 0, 2, len(payload), parts)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(pr.Wait(), payload) {
+				return fmt.Errorf("payload mismatch")
+			}
+			return nil
+		})
+		return err == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for any arrival set and sizes, every strategy finishes no
+// earlier than the last arrival and no earlier than one partition's
+// transfer past the first arrival.
+func TestStrategyPhysicalBoundsProperty(t *testing.T) {
+	f := network.OmniPath()
+	strategies := []Strategy{Bulk{}, FineGrained{}, Binned{TimeoutSec: 1e-3}, CountThreshold{K: 4}}
+	check := func(raw []uint16, rawSize uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		arrivals := make([]float64, len(raw))
+		for i, r := range raw {
+			arrivals[i] = float64(r) * 1e-6 // 0..65ms
+		}
+		sortFloat64s(arrivals)
+		size := int(rawSize)%(1<<20) + 1
+		last := arrivals[len(arrivals)-1]
+		minFinish := last + f.TransferTime(size) - 1e-12
+		for _, s := range strategies {
+			if got := s.FinishTime(arrivals, size, f); got < minFinish {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortFloat64s(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package rng
+
+import "testing"
+
+func BenchmarkChildDerivation(b *testing.B) {
+	root := New(1)
+	for i := 0; i < b.N; i++ {
+		root.Child(uint64(i), uint64(i%8), uint64(i%200))
+	}
+}
+
+func BenchmarkNormal(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.Normal(26.3e-3, 0.18e-3)
+	}
+}
+
+func BenchmarkExp(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.Exp(2.3e-3)
+	}
+}
+
+func BenchmarkPoisson(b *testing.B) {
+	s := New(1)
+	b.Run("small-lambda", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.Poisson(3)
+		}
+	})
+	b.Run("large-lambda", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.Poisson(250)
+		}
+	})
+}

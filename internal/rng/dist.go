@@ -1,0 +1,59 @@
+package rng
+
+import "math"
+
+// Normal draws from N(mu, sigma). sigma must be non-negative.
+func (s *Source) Normal(mu, sigma float64) float64 {
+	return mu + sigma*s.NormFloat64()
+}
+
+// TruncNormal draws from N(mu, sigma) truncated to [lo, hi] by rejection.
+// The interval must have positive probability mass; for the workload models
+// in this repository the interval always covers the mean, so rejection
+// terminates quickly.
+func (s *Source) TruncNormal(mu, sigma, lo, hi float64) float64 {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	for i := 0; i < 1024; i++ {
+		x := s.Normal(mu, sigma)
+		if x >= lo && x <= hi {
+			return x
+		}
+	}
+	// Pathological parameterisation: clamp to the nearest bound so the
+	// simulation remains total rather than spinning forever.
+	x := s.Normal(mu, sigma)
+	return math.Min(math.Max(x, lo), hi)
+}
+
+// Exp draws from an exponential distribution with the given mean
+// (scale parameter, not rate).
+func (s *Source) Exp(mean float64) float64 {
+	return mean * s.ExpFloat64()
+}
+
+// LogNormal draws X such that ln X ~ N(mu, sigma).
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Normal(mu, sigma))
+}
+
+// Pareto draws from a Pareto distribution with the given minimum xm and
+// shape alpha. Heavy-tailed; used for high-magnitude laggard models.
+func (s *Source) Pareto(xm, alpha float64) float64 {
+	u := s.Float64()
+	for u == 0 {
+		u = s.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Bernoulli returns true with probability p.
+func (s *Source) Bernoulli(p float64) bool {
+	return s.Float64() < p
+}
+
+// Uniform draws from [lo, hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}

@@ -1,0 +1,29 @@
+package rng
+
+import "math"
+
+// Poisson draws from a Poisson distribution with the given mean lambda.
+// Knuth's multiplication method is used for small lambda; for large lambda
+// the normal approximation with continuity correction keeps the draw O(1).
+func (s *Source) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= s.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	k := int(math.Round(s.Normal(lambda, math.Sqrt(lambda))))
+	if k < 0 {
+		return 0
+	}
+	return k
+}

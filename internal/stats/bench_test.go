@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+func benchData(n int) []float64 {
+	r := rand.New(rand.NewPCG(1, 2))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 26.3e-3 + 0.18e-3*r.NormFloat64()
+	}
+	return xs
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	for _, n := range []int{48, 3840, 768000} {
+		xs := benchData(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Summarize(xs)
+			}
+		})
+	}
+}
+
+func BenchmarkPercentile(b *testing.B) {
+	xs := benchData(3840)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Percentile(xs, 95)
+	}
+}
+
+func BenchmarkHistogram10usBins(b *testing.B) {
+	xs := benchData(768000)
+	b.SetBytes(int64(len(xs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewHistogram(xs, 10e-6)
+	}
+}
+
+func BenchmarkNormalQuantile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NormalQuantile(float64(i%1000+1) / 1002)
+	}
+}
+
+func BenchmarkNormalCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NormalCDF(float64(i%13) - 6)
+	}
+}

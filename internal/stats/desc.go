@@ -1,0 +1,200 @@
+// Package stats implements the descriptive statistics, histogram, and
+// distribution machinery used throughout the thread-timing study: sample
+// moments, percentiles and inter-quartile ranges (Figures 4, 6 and 8 of the
+// paper), fixed-width histograms (Figures 3, 5, 7 and 9), the empirical CDF,
+// and the standard normal distribution functions required by the normality
+// tests in the stats/normality subpackage.
+//
+// All functions operate on float64 slices and, unless stated otherwise, do
+// not mutate their input.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that cannot operate on empty samples.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs. It returns NaN for an empty
+// sample so that plotting pipelines can propagate missing data.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1) sample variance.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// CentralMoment returns the k-th central sample moment (divided by n).
+func CentralMoment(xs []float64, k int) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Pow(x-m, float64(k))
+	}
+	return sum / float64(len(xs))
+}
+
+// Skewness returns the sample skewness g1 = m3 / m2^(3/2), the moment
+// estimator used by D'Agostino's test.
+func Skewness(xs []float64) float64 {
+	m2 := CentralMoment(xs, 2)
+	m3 := CentralMoment(xs, 3)
+	return m3 / math.Pow(m2, 1.5)
+}
+
+// Kurtosis returns the (non-excess) sample kurtosis b2 = m4 / m2^2.
+// A normal sample has b2 close to 3.
+func Kurtosis(xs []float64) float64 {
+	m2 := CentralMoment(xs, 2)
+	m4 := CentralMoment(xs, 4)
+	return m4 / (m2 * m2)
+}
+
+// Min returns the smallest element of xs.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	min := xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+	}
+	return min
+}
+
+// Max returns the largest element of xs.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	max := xs[0]
+	for _, x := range xs[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// Sorted returns a sorted copy of xs.
+func Sorted(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	sort.Float64s(out)
+	return out
+}
+
+// PercentileSorted returns the p-th percentile (0 <= p <= 100) of an
+// already-sorted sample using linear interpolation between closest ranks
+// (the "linear" method used by NumPy and R type 7).
+func PercentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	h := (p / 100) * float64(n-1)
+	lo := int(math.Floor(h))
+	frac := h - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	v := sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		// The difference overflowed (inputs near ±MaxFloat64); the convex
+		// combination form cannot overflow past the endpoints.
+		v = sorted[lo]*(1-frac) + sorted[lo+1]*frac
+	}
+	return v
+}
+
+// Percentile returns the p-th percentile of xs (unsorted input).
+func Percentile(xs []float64, p float64) float64 {
+	return PercentileSorted(Sorted(xs), p)
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// IQRSorted returns the inter-quartile range of a sorted sample.
+func IQRSorted(sorted []float64) float64 {
+	return PercentileSorted(sorted, 75) - PercentileSorted(sorted, 25)
+}
+
+// IQR returns the inter-quartile range of xs.
+func IQR(xs []float64) float64 { return IQRSorted(Sorted(xs)) }
+
+// Summary holds the descriptive statistics reported for a sample throughout
+// the study.
+type Summary struct {
+	N        int
+	Mean     float64
+	StdDev   float64
+	Min      float64
+	P5       float64
+	P25      float64
+	Median   float64
+	P75      float64
+	P95      float64
+	Max      float64
+	IQR      float64
+	Skewness float64
+	Kurtosis float64
+}
+
+// Summarize computes a Summary for xs.
+func Summarize(xs []float64) Summary {
+	s := Sorted(xs)
+	return Summary{
+		N:        len(xs),
+		Mean:     Mean(xs),
+		StdDev:   StdDev(xs),
+		Min:      Min(xs),
+		P5:       PercentileSorted(s, 5),
+		P25:      PercentileSorted(s, 25),
+		Median:   PercentileSorted(s, 50),
+		P75:      PercentileSorted(s, 75),
+		P95:      PercentileSorted(s, 95),
+		Max:      Max(xs),
+		IQR:      IQRSorted(s),
+		Skewness: Skewness(xs),
+		Kurtosis: Kurtosis(xs),
+	}
+}

@@ -1,0 +1,35 @@
+package stats
+
+import "sort"
+
+// ECDF is an empirical cumulative distribution function over a sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from xs (the input is copied).
+func NewECDF(xs []float64) *ECDF {
+	return &ECDF{sorted: Sorted(xs)}
+}
+
+// At returns F_n(x) = (#samples <= x) / n.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(e.sorted, x)
+	// SearchFloat64s returns the first index with sorted[i] >= x; advance
+	// over equal elements so the CDF is right-continuous with <=.
+	for i < len(e.sorted) && e.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// Quantile returns the empirical p-quantile (0..1) with interpolation.
+func (e *ECDF) Quantile(p float64) float64 {
+	return PercentileSorted(e.sorted, p*100)
+}

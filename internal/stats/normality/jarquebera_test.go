@@ -1,0 +1,72 @@
+package normality
+
+import "testing"
+
+func TestJarqueBeraSizeUnderNull(t *testing.T) {
+	rejected := 0
+	const trials = 300
+	for i := uint64(1); i <= trials; i++ {
+		r, err := JarqueBeraTest(normalSample(i, 500, 0, 1), DefaultAlpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.RejectNormal {
+			rejected++
+		}
+	}
+	rate := float64(rejected) / trials
+	if rate > 0.10 {
+		t.Errorf("JB rejection rate %v under null, want <= 0.10", rate)
+	}
+}
+
+func TestJarqueBeraPowerAgainstExponential(t *testing.T) {
+	rejected := 0
+	const trials = 100
+	for i := uint64(1); i <= trials; i++ {
+		r, err := JarqueBeraTest(expSample(i, 200, 1), DefaultAlpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.RejectNormal {
+			rejected++
+		}
+	}
+	if rejected < 99 {
+		t.Errorf("JB rejected only %d/100 exponential samples", rejected)
+	}
+}
+
+func TestJarqueBeraDegenerate(t *testing.T) {
+	if _, err := JarqueBeraTest([]float64{1, 2, 3}, DefaultAlpha); err == nil {
+		t.Error("tiny sample accepted")
+	}
+	constant := make([]float64, 100)
+	if _, err := JarqueBeraTest(constant, DefaultAlpha); err == nil {
+		t.Error("constant sample accepted")
+	}
+}
+
+// JB agrees with D'Agostino on large clear-cut samples (both are
+// moment-based chi-squared omnibus tests).
+func TestJarqueBeraAgreesWithDAgostino(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		normal := normalSample(seed, 2000, 5, 2)
+		jb, err1 := JarqueBeraTest(normal, DefaultAlpha)
+		da, err2 := DAgostinoK2(normal, DefaultAlpha)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		// Disagreement possible only near the boundary; require
+		// agreement when both p-values are decisive.
+		if (jb.PValue > 0.2) != (da.PValue > 0.2) && (jb.PValue < 0.01) != (da.PValue < 0.01) {
+			t.Errorf("seed %d: JB p=%v vs D'Ag p=%v", seed, jb.PValue, da.PValue)
+		}
+		skewed := expSample(seed, 2000, 1)
+		jb2, _ := JarqueBeraTest(skewed, DefaultAlpha)
+		da2, _ := DAgostinoK2(skewed, DefaultAlpha)
+		if !jb2.RejectNormal || !da2.RejectNormal {
+			t.Errorf("seed %d: decisive skew not rejected by both", seed)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package normality
+
+import (
+	"math"
+	"sort"
+
+	"earlybird/internal/stats"
+)
+
+// LillieforsTest performs the Kolmogorov-Smirnov test of composite
+// normality with mean and variance estimated from the sample (the
+// Lilliefors correction). Like JarqueBeraTest it extends the paper's
+// battery rather than belonging to it; the EDF statistic makes it a
+// useful cross-check on Anderson-Darling, which weights the tails more
+// heavily.
+//
+// The decision uses the Dallal-Wilkinson (1986) approximation of the
+// Lilliefors distribution, accurate for n >= 5.
+func LillieforsTest(xs []float64, alpha float64) (Result, error) {
+	n := len(xs)
+	if n < 5 {
+		return Result{}, ErrSampleTooSmall
+	}
+	x := make([]float64, n)
+	copy(x, xs)
+	sort.Float64s(x)
+	if x[0] == x[n-1] {
+		return Result{}, ErrConstantSample
+	}
+	mean := stats.Mean(x)
+	sd := stats.StdDev(x)
+
+	// D = sup |F_n(x) - Phi(z)| over the sample points, checking both
+	// sides of each step of the empirical CDF.
+	d := 0.0
+	nf := float64(n)
+	for i, xi := range x {
+		z := (xi - mean) / sd
+		cdf := stats.NormalCDF(z)
+		upper := float64(i+1)/nf - cdf
+		lower := cdf - float64(i)/nf
+		if upper > d {
+			d = upper
+		}
+		if lower > d {
+			d = lower
+		}
+	}
+
+	p := lillieforsPValue(d, n)
+	return Result{
+		Test:         Test(numTests), // outside the primary battery
+		Statistic:    d,
+		PValue:       p,
+		RejectNormal: p < alpha,
+		N:            n,
+	}, nil
+}
+
+// lillieforsPValue implements the Dallal-Wilkinson approximation. For
+// p-values outside (0.001, 0.10) — where the approximation was fitted —
+// the value is clamped toward the informative end, which is sufficient
+// for fixed-level decisions.
+func lillieforsPValue(d float64, n int) float64 {
+	nf := float64(n)
+	if n > 100 {
+		// Dallal-Wilkinson rescaling for large n.
+		d *= math.Pow(nf/100, 0.49)
+		nf = 100
+	}
+	p := math.Exp(-7.01256*d*d*(nf+2.78019) +
+		2.99587*d*math.Sqrt(nf+2.78019) -
+		0.122119 + 0.974598/math.Sqrt(nf) + 1.67997/nf)
+	if p > 1 {
+		p = 1
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p
+}

@@ -1,0 +1,81 @@
+package normality
+
+import "testing"
+
+func TestLillieforsSizeUnderNull(t *testing.T) {
+	rejected := 0
+	const trials = 300
+	for i := uint64(1); i <= trials; i++ {
+		r, err := LillieforsTest(normalSample(i, 48, 26.3e-3, 0.2e-3), DefaultAlpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.RejectNormal {
+			rejected++
+		}
+	}
+	rate := float64(rejected) / trials
+	if rate > 0.10 {
+		t.Errorf("Lilliefors rejection rate %v under null, want <= 0.10", rate)
+	}
+	if rate < 0.002 {
+		t.Errorf("Lilliefors rejection rate %v suspiciously low", rate)
+	}
+}
+
+func TestLillieforsPowerAgainstExponential(t *testing.T) {
+	rejected := 0
+	const trials = 100
+	for i := uint64(1); i <= trials; i++ {
+		r, err := LillieforsTest(expSample(i, 100, 1), DefaultAlpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.RejectNormal {
+			rejected++
+		}
+	}
+	if rejected < 95 {
+		t.Errorf("Lilliefors rejected %d/100 exponential samples, want >= 95", rejected)
+	}
+}
+
+func TestLillieforsLargeSample(t *testing.T) {
+	// The n > 100 rescaling path.
+	r, err := LillieforsTest(normalSample(3, 5000, 0, 1), DefaultAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PValue < 0 || r.PValue > 1 {
+		t.Fatalf("p = %v", r.PValue)
+	}
+	skewed, err := LillieforsTest(expSample(3, 5000, 1), DefaultAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !skewed.RejectNormal {
+		t.Error("large exponential sample not rejected")
+	}
+}
+
+func TestLillieforsDegenerate(t *testing.T) {
+	if _, err := LillieforsTest([]float64{1, 2}, DefaultAlpha); err == nil {
+		t.Error("tiny sample accepted")
+	}
+	constant := []float64{2, 2, 2, 2, 2, 2}
+	if _, err := LillieforsTest(constant, DefaultAlpha); err == nil {
+		t.Error("constant sample accepted")
+	}
+}
+
+func TestLillieforsStatisticBounds(t *testing.T) {
+	for seed := uint64(1); seed <= 30; seed++ {
+		r, err := LillieforsTest(normalSample(seed, 64, 10, 2), DefaultAlpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Statistic <= 0 || r.Statistic >= 1 {
+			t.Fatalf("D = %v outside (0,1)", r.Statistic)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Package normality implements the three normality tests the paper uses to
+// classify thread-arrival distributions (Section 4.1): D'Agostino's K²
+// omnibus test, the Shapiro-Wilk test (Royston's AS R94 algorithm), and the
+// Anderson-Darling test with Stephens' case-3 small-sample adjustment
+// (mean and variance estimated from the sample).
+//
+// Each test takes the null hypothesis that the sample is drawn from a
+// normal distribution; the paper rejects at a 5% significance level.
+package normality
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultAlpha is the significance level used throughout the paper.
+const DefaultAlpha = 0.05
+
+// Test identifies one of the three normality tests.
+type Test int
+
+const (
+	// DAgostino is D'Agostino's K² omnibus test (skewness + kurtosis).
+	DAgostino Test = iota
+	// ShapiroWilk is the Shapiro-Wilk W test (Royston AS R94).
+	ShapiroWilk
+	// AndersonDarling is the Anderson-Darling A² test, case 3.
+	AndersonDarling
+	numTests
+)
+
+// Tests lists all three tests in the order the paper's Table 1 reports them.
+var Tests = []Test{DAgostino, ShapiroWilk, AndersonDarling}
+
+// String returns the conventional test name.
+func (t Test) String() string {
+	switch t {
+	case DAgostino:
+		return "D'Agostino"
+	case ShapiroWilk:
+		return "Shapiro-Wilk"
+	case AndersonDarling:
+		return "Anderson-Darling"
+	default:
+		return fmt.Sprintf("Test(%d)", int(t))
+	}
+}
+
+// Result is the outcome of a single normality test on a sample.
+type Result struct {
+	Test Test
+	// Statistic is the raw test statistic (K², W, or the adjusted A²*).
+	Statistic float64
+	// PValue is the p-value where the test provides one. The
+	// Anderson-Darling decision is made against Stephens' critical
+	// values; its PValue is an interpolated approximation.
+	PValue float64
+	// RejectNormal reports whether the null hypothesis of normality is
+	// rejected at the significance level the test was run with.
+	RejectNormal bool
+	// N is the sample size.
+	N int
+}
+
+// Passed reports whether the sample "passed" the normality test, i.e. the
+// test failed to reject the null hypothesis — the quantity Table 1 counts.
+func (r Result) Passed() bool { return !r.RejectNormal }
+
+// Errors shared by the tests.
+var (
+	ErrSampleTooSmall = errors.New("normality: sample too small")
+	ErrConstantSample = errors.New("normality: sample has zero variance")
+)
+
+// Run dispatches to the requested test at significance alpha.
+func Run(t Test, xs []float64, alpha float64) (Result, error) {
+	switch t {
+	case DAgostino:
+		return DAgostinoK2(xs, alpha)
+	case ShapiroWilk:
+		return ShapiroWilkTest(xs, alpha)
+	case AndersonDarling:
+		return AndersonDarlingTest(xs, alpha)
+	default:
+		return Result{}, fmt.Errorf("normality: unknown test %d", int(t))
+	}
+}
+
+// Battery runs all three tests at significance alpha and returns the
+// results indexed by Test. A test that cannot run on the sample (for
+// example, too few observations) contributes a zero Result with
+// RejectNormal = true, matching the paper's treatment of degenerate sets.
+func Battery(xs []float64, alpha float64) [3]Result {
+	var out [3]Result
+	for _, t := range Tests {
+		r, err := Run(t, xs, alpha)
+		if err != nil {
+			r = Result{Test: t, RejectNormal: true, N: len(xs)}
+		}
+		out[t] = r
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := NewDataset("fe", 2, 3, 4, 5)
+	v := 0.001
+	d.EachProcessIteration(func(_, _, _ int, xs []float64) {
+		for i := range xs {
+			xs[i] = v
+			v += 0.0005
+		}
+	})
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.App != "fe" || back.Trials != 2 || back.Ranks != 3 || back.Iterations != 4 || back.Threads != 5 {
+		t.Fatalf("geometry %+v", back)
+	}
+	a, b := d.AllSamples(), back.AllSamples()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "x,y\n",
+		"short row":    "app,trial,rank,iteration,thread,compute_seconds\nfe,0,0\n",
+		"bad number":   "app,trial,rank,iteration,thread,compute_seconds\nfe,0,0,0,0,abc\n",
+		"bad index":    "app,trial,rank,iteration,thread,compute_seconds\nfe,x,0,0,0,1\n",
+		"negative":     "app,trial,rank,iteration,thread,compute_seconds\nfe,-1,0,0,0,1\n",
+		"mixed apps":   "app,trial,rank,iteration,thread,compute_seconds\nfe,0,0,0,0,1\nmd,0,0,0,1,1\n",
+		"duplicate":    "app,trial,rank,iteration,thread,compute_seconds\nfe,0,0,0,0,1\nfe,0,0,0,0,2\n",
+		"missing cell": "app,trial,rank,iteration,thread,compute_seconds\nfe,0,0,0,1,1\n",
+		"no rows":      "app,trial,rank,iteration,thread,compute_seconds\n",
+	}
+	for name, csv := range cases {
+		if _, err := ReadCSV(strings.NewReader(csv)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	csv := "app,trial,rank,iteration,thread,compute_seconds\nfe,0,0,0,0,0.5\n\n"
+	d, err := ReadCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Times[0][0][0][0] != 0.5 {
+		t.Fatal("value lost")
+	}
+}
+
+func TestSliceIterations(t *testing.T) {
+	d := NewDataset("x", 1, 1, 6, 2)
+	for i := 0; i < 6; i++ {
+		d.Times[0][0][i][0] = float64(i)
+		d.Times[0][0][i][1] = float64(i) + 0.5
+	}
+	s, err := d.SliceIterations(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Iterations != 3 || s.Times[0][0][0][0] != 2 || s.Times[0][0][2][1] != 4.5 {
+		t.Fatalf("slice wrong: %+v", s.Times[0][0])
+	}
+	// Slicing copies: mutating the slice must not touch the original.
+	s.Times[0][0][0][0] = 99
+	if d.Times[0][0][2][0] == 99 {
+		t.Fatal("slice aliases original")
+	}
+	for _, rng := range [][2]int{{-1, 3}, {0, 7}, {3, 3}, {4, 2}} {
+		if _, err := d.SliceIterations(rng[0], rng[1]); err == nil {
+			t.Errorf("slice [%d,%d) accepted", rng[0], rng[1])
+		}
+	}
+}
+
+func TestMergeTrials(t *testing.T) {
+	a := NewDataset("x", 1, 2, 3, 4)
+	b := NewDataset("x", 2, 2, 3, 4)
+	a.Times[0][1][2][3] = 1.5
+	b.Times[1][0][0][0] = 2.5
+	m, err := MergeTrials(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Trials != 3 {
+		t.Fatalf("trials = %d", m.Trials)
+	}
+	if m.Times[0][1][2][3] != 1.5 || m.Times[2][0][0][0] != 2.5 {
+		t.Fatal("values misplaced")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeTrialsErrors(t *testing.T) {
+	if _, err := MergeTrials(); err == nil {
+		t.Error("empty merge accepted")
+	}
+	a := NewDataset("x", 1, 2, 3, 4)
+	b := NewDataset("y", 1, 2, 3, 4)
+	if _, err := MergeTrials(a, b); err == nil {
+		t.Error("mixed apps accepted")
+	}
+	c := NewDataset("x", 1, 2, 3, 5)
+	if _, err := MergeTrials(a, c); err == nil {
+		t.Error("mixed geometry accepted")
+	}
+}

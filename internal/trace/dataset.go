@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Dataset holds the compute times of a full study of one application:
+// Trials x Ranks x Iterations x Threads, in seconds. With the paper's
+// configuration (10 trials, 8 ranks, 200 iterations, 48 threads) this is
+// the 768000-sample body analysed in Section 4.
+type Dataset struct {
+	App        string `json:"app"`
+	Trials     int    `json:"trials"`
+	Ranks      int    `json:"ranks"`
+	Iterations int    `json:"iterations"`
+	Threads    int    `json:"threads"`
+	// Times is indexed [trial][rank][iteration][thread].
+	Times [][][][]float64 `json:"times"`
+}
+
+// NewDataset allocates a zeroed dataset with the given geometry.
+func NewDataset(app string, trials, ranks, iterations, threads int) *Dataset {
+	if trials < 1 || ranks < 1 || iterations < 1 || threads < 1 {
+		panic("trace: dataset geometry must be positive")
+	}
+	d := &Dataset{App: app, Trials: trials, Ranks: ranks, Iterations: iterations, Threads: threads}
+	d.Times = make([][][][]float64, trials)
+	flat := make([]float64, trials*ranks*iterations*threads)
+	for t := range d.Times {
+		d.Times[t] = make([][][]float64, ranks)
+		for r := range d.Times[t] {
+			d.Times[t][r] = make([][]float64, iterations)
+			for i := range d.Times[t][r] {
+				d.Times[t][r][i], flat = flat[:threads:threads], flat[threads:]
+			}
+		}
+	}
+	return d
+}
+
+// NumSamples returns the total number of thread-arrival samples.
+func (d *Dataset) NumSamples() int {
+	return d.Trials * d.Ranks * d.Iterations * d.Threads
+}
+
+// SetFromRecorder copies one rank's recorder into the dataset.
+func (d *Dataset) SetFromRecorder(trial, rank int, rec *Recorder) {
+	if rec.Iterations() != d.Iterations || rec.Threads() != d.Threads {
+		panic("trace: recorder geometry does not match dataset")
+	}
+	for i := 0; i < d.Iterations; i++ {
+		copy(d.Times[trial][rank][i], rec.IterationSeconds(i))
+	}
+}
+
+// AllSamples returns every compute time in the dataset — the paper's
+// "application level aggregation" (768000 samples at the default
+// geometry).
+func (d *Dataset) AllSamples() []float64 {
+	out := make([]float64, 0, d.NumSamples())
+	for _, trial := range d.Times {
+		for _, rank := range trial {
+			for _, iter := range rank {
+				out = append(out, iter...)
+			}
+		}
+	}
+	return out
+}
+
+// IterationSamples returns all samples of one application iteration across
+// every trial and rank — "application iteration level aggregation" (3840
+// samples at the default geometry).
+func (d *Dataset) IterationSamples(iter int) []float64 {
+	out := make([]float64, 0, d.Trials*d.Ranks*d.Threads)
+	for _, trial := range d.Times {
+		for _, rank := range trial {
+			out = append(out, rank[iter]...)
+		}
+	}
+	return out
+}
+
+// ProcessIteration returns the 48-at-default thread samples of a single
+// (trial, rank, iteration) — "process iteration level aggregation".
+func (d *Dataset) ProcessIteration(trial, rank, iter int) []float64 {
+	return d.Times[trial][rank][iter]
+}
+
+// EachProcessIteration calls fn for every (trial, rank, iteration) set in
+// deterministic order. The slice passed to fn is the dataset's backing
+// storage; fn must not mutate or retain it.
+func (d *Dataset) EachProcessIteration(fn func(trial, rank, iter int, xs []float64)) {
+	for t := 0; t < d.Trials; t++ {
+		for r := 0; r < d.Ranks; r++ {
+			for i := 0; i < d.Iterations; i++ {
+				fn(t, r, i, d.Times[t][r][i])
+			}
+		}
+	}
+}
+
+// NumProcessIterations returns trials x ranks x iterations (16000 at the
+// default geometry — the population of Table 1).
+func (d *Dataset) NumProcessIterations() int {
+	return d.Trials * d.Ranks * d.Iterations
+}
+
+// WriteCSV writes the dataset in long form:
+// app,trial,rank,iteration,thread,compute_seconds.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "app,trial,rank,iteration,thread,compute_seconds"); err != nil {
+		return err
+	}
+	for t := 0; t < d.Trials; t++ {
+		for r := 0; r < d.Ranks; r++ {
+			for i := 0; i < d.Iterations; i++ {
+				for th := 0; th < d.Threads; th++ {
+					if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%g\n",
+						d.App, t, r, i, th, d.Times[t][r][i][th]); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the dataset as JSON.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(d)
+}
+
+// ReadJSON reads a dataset written by WriteJSON and validates its
+// geometry.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var d Dataset
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("trace: decoding dataset: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Validate checks that the Times tensor matches the declared geometry.
+func (d *Dataset) Validate() error {
+	if len(d.Times) != d.Trials {
+		return fmt.Errorf("trace: %d trials declared, %d present", d.Trials, len(d.Times))
+	}
+	for t, trial := range d.Times {
+		if len(trial) != d.Ranks {
+			return fmt.Errorf("trace: trial %d: %d ranks declared, %d present", t, d.Ranks, len(trial))
+		}
+		for r, rank := range trial {
+			if len(rank) != d.Iterations {
+				return fmt.Errorf("trace: trial %d rank %d: %d iterations declared, %d present", t, r, d.Iterations, len(rank))
+			}
+			for i, iter := range rank {
+				if len(iter) != d.Threads {
+					return fmt.Errorf("trace: trial %d rank %d iter %d: %d threads declared, %d present", t, r, i, d.Threads, len(iter))
+				}
+			}
+		}
+	}
+	return nil
+}

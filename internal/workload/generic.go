@@ -1,0 +1,82 @@
+package workload
+
+import "earlybird/internal/rng"
+
+// The generic models below are building blocks for custom studies (see
+// examples/custom-workload) and for validating the analysis pipeline
+// against distributions with known properties — e.g. the single-laggard
+// assumption of the original partitioned-communication paper (Grant et
+// al.) or the normal-distribution sweep of Temucin et al.
+
+// NormalModel draws every thread time from N(MedianSec, SigmaSec).
+type NormalModel struct {
+	AppName   string
+	MedianSec float64
+	SigmaSec  float64
+}
+
+// Name implements Model.
+func (m *NormalModel) Name() string { return m.AppName }
+
+// FillProcessIteration implements Model.
+func (m *NormalModel) FillProcessIteration(root *rng.Source, trial, rank, iter int, out []float64) {
+	s := iterStream(root, trial, rank, iter)
+	for i := range out {
+		out[i] = s.Normal(m.MedianSec, m.SigmaSec)
+	}
+}
+
+// UniformModel draws every thread time uniformly from
+// [MedianSec-HalfWidthSec, MedianSec+HalfWidthSec).
+type UniformModel struct {
+	AppName      string
+	MedianSec    float64
+	HalfWidthSec float64
+}
+
+// Name implements Model.
+func (m *UniformModel) Name() string { return m.AppName }
+
+// FillProcessIteration implements Model.
+func (m *UniformModel) FillProcessIteration(root *rng.Source, trial, rank, iter int, out []float64) {
+	s := iterStream(root, trial, rank, iter)
+	for i := range out {
+		out[i] = s.Uniform(m.MedianSec-m.HalfWidthSec, m.MedianSec+m.HalfWidthSec)
+	}
+}
+
+// SingleLaggardModel reproduces the analytical assumption of the original
+// partitioned-communication work: every thread arrives at MedianSec except
+// exactly one laggard per process iteration, LagSec later.
+type SingleLaggardModel struct {
+	AppName   string
+	MedianSec float64
+	JitterSec float64
+	LagSec    float64
+}
+
+// Name implements Model.
+func (m *SingleLaggardModel) Name() string { return m.AppName }
+
+// FillProcessIteration implements Model.
+func (m *SingleLaggardModel) FillProcessIteration(root *rng.Source, trial, rank, iter int, out []float64) {
+	s := iterStream(root, trial, rank, iter)
+	for i := range out {
+		out[i] = s.Normal(m.MedianSec, m.JitterSec)
+	}
+	out[s.IntN(len(out))] += m.LagSec
+}
+
+// Func adapts a plain function to the Model interface.
+type Func struct {
+	AppName string
+	Fill    func(s *rng.Source, trial, rank, iter int, out []float64)
+}
+
+// Name implements Model.
+func (m *Func) Name() string { return m.AppName }
+
+// FillProcessIteration implements Model.
+func (m *Func) FillProcessIteration(root *rng.Source, trial, rank, iter int, out []float64) {
+	m.Fill(iterStream(root, trial, rank, iter), trial, rank, iter, out)
+}

@@ -1,0 +1,88 @@
+package workload
+
+import "earlybird/internal/rng"
+
+// MiniFE models the thread arrival behaviour of MiniFE's matrix-vector
+// product (Section 4.2.1 of the paper):
+//
+//   - mean median arrival time 26.30 ms, tight core distribution
+//     (application-iteration IQR averaging 0.18 ms, max 4.24 ms);
+//   - left-skewed arrivals: early arrival significantly more common than
+//     late (5th/25th percentiles further from the median than 95th/75th),
+//     attributed to distributing 200 planes over 48 threads;
+//   - 22.4% of process iterations contain a laggard thread more than 1 ms
+//     slower than the median (Figure 5b), the rest none (Figure 5a);
+//   - process-iteration arrivals are almost never normal (Table 1:
+//     <= 3% pass), because of the skew;
+//   - average reclaimable time 42.82 ms per process iteration.
+type MiniFE struct {
+	// MedianSec is the nominal per-thread compute time (paper: 26.30 ms).
+	MedianSec float64
+	// IterJitterSec spreads each process-iteration's local median.
+	IterJitterSec float64
+	// RankRateSigma is the lognormal sigma of per-(trial,rank) speed
+	// multipliers (cross-process spread seen at application level).
+	RankRateSigma float64
+	// EarlyTailSec is the mean of the exponential early-arrival tail
+	// subtracted from every thread (the left skew).
+	EarlyTailSec float64
+	// ThreadJitterSec is symmetric per-thread noise.
+	ThreadJitterSec float64
+	// LaggardProb is the probability a process iteration contains a
+	// laggard (paper: 0.224).
+	LaggardProb float64
+	// LaggardBaseSec + Exp(LaggardTailSec) is the laggard's extra delay
+	// beyond the local median; the base keeps it past the paper's 1 ms
+	// detection threshold.
+	LaggardBaseSec float64
+	LaggardTailSec float64
+	// DisturbProb is the probability that an application iteration is
+	// globally disturbed, widening that iteration's aggregated IQR
+	// (Figure 4's IQR max of 4.24 ms); DisturbSec is the mean extra
+	// spread.
+	DisturbProb float64
+	DisturbSec  float64
+}
+
+// DefaultMiniFE returns the calibration that reproduces the paper's
+// MiniFE statistics.
+func DefaultMiniFE() *MiniFE {
+	return &MiniFE{
+		MedianSec:       26.30e-3,
+		IterJitterSec:   0.05e-3,
+		RankRateSigma:   0.002,
+		EarlyTailSec:    0.15e-3,
+		ThreadJitterSec: 0.015e-3,
+		LaggardProb:     0.218,
+		LaggardBaseSec:  1.0e-3,
+		LaggardTailSec:  2.3e-3,
+		DisturbProb:     0.012,
+		DisturbSec:      3.6e-3,
+	}
+}
+
+// Name implements Model.
+func (m *MiniFE) Name() string { return "minife" }
+
+// FillProcessIteration implements Model.
+func (m *MiniFE) FillProcessIteration(root *rng.Source, trial, rank, iter int, out []float64) {
+	rate := rankStream(root, trial, rank).LogNormal(0, m.RankRateSigma)
+
+	ps := perturbStream(root, iter)
+	disturbed := ps.Bernoulli(m.DisturbProb)
+
+	s := iterStream(root, trial, rank, iter)
+	median := m.MedianSec*rate + s.Normal(0, m.IterJitterSec)
+	if disturbed {
+		// A globally disturbed iteration spreads the per-process medians,
+		// which widens the application-iteration IQR.
+		median += s.Exp(m.DisturbSec)
+	}
+	for i := range out {
+		out[i] = median - s.Exp(m.EarlyTailSec) + s.Normal(0, m.ThreadJitterSec)
+	}
+	if s.Bernoulli(m.LaggardProb) {
+		victim := s.IntN(len(out))
+		out[victim] = median + m.LaggardBaseSec + s.Exp(m.LaggardTailSec)
+	}
+}

@@ -1,0 +1,96 @@
+package workload
+
+import "earlybird/internal/rng"
+
+// MiniQMC models the thread arrival behaviour of MiniQMC's movers
+// (Section 4.2.3 of the paper):
+//
+//   - the widest arrival distribution of the three applications: the
+//     per-thread times within a single process iteration are normally
+//     distributed with a large spread, producing an application-iteration
+//     IQR with mean 9.05 ms and max 15.61 ms and an arrival breadth of
+//     more than 40 ms (Figure 9 shows the spread is within-iteration, not
+//     an aggregation artefact);
+//   - mean median arrival time 60.91 ms, little variation across
+//     iterations (Figure 8);
+//   - process-iteration arrivals normally distributed: 95-96% pass all
+//     three Table 1 tests;
+//   - at application-iteration aggregation, a mild right-skewed
+//     per-process offset makes most iterations reject normality while a
+//     handful pass D'Agostino only (Section 4.1);
+//   - average reclaimable time 708.03 ms per process iteration.
+type MiniQMC struct {
+	// MedianSec is the nominal per-thread compute time (paper: 60.91 ms).
+	MedianSec float64
+	// SigmaSec is the within-process normal spread of thread times.
+	SigmaSec float64
+	// ThreadTailSec is the mean of a mild exponential right tail added to
+	// every thread time. It is calibrated so its skew is statistically
+	// invisible at n = 48 (process iterations keep passing normality,
+	// Table 1) but detected at n = 3840 (application iterations reject,
+	// Section 4.1) — reproducing the paper's aggregation-level contrast.
+	ThreadTailSec float64
+	// RankOffsetXm and RankOffsetAlpha parameterise a small
+	// Pareto-distributed per-(trial,rank,iter) offset (minimum and
+	// shape) modelling cross-process variation.
+	RankOffsetXm    float64
+	RankOffsetAlpha float64
+	// SlowProb is the probability that a whole process iteration runs
+	// SlowDeltaSec late (a transiently slow rank). The within-process
+	// distribution stays exactly normal (Table 1 untouched) while the
+	// application-iteration aggregation gains a secondary lump that the
+	// normality tests reject — the paper's aggregation-level contrast.
+	SlowProb     float64
+	SlowDeltaSec float64
+	// RankRateSigma is the lognormal sigma of per-(trial,rank) speed.
+	RankRateSigma float64
+	// IterJitterSec spreads per-process-iteration medians.
+	IterJitterSec float64
+	// SigmaLogJitter is the lognormal sigma of the per-process-iteration
+	// spread multiplier; IterSigmaLogJitter modulates the spread of a
+	// whole application iteration (all ranks and trials), producing the
+	// occasional wider iterations behind Figure 8's IQR maximum of
+	// 15.61 ms without breaking within-process normality.
+	SigmaLogJitter     float64
+	IterSigmaLogJitter float64
+}
+
+// DefaultMiniQMC returns the calibration that reproduces the paper's
+// MiniQMC statistics.
+func DefaultMiniQMC() *MiniQMC {
+	return &MiniQMC{
+		MedianSec:       60.0e-3,
+		SigmaSec:        6.05e-3,
+		ThreadTailSec:   1.8e-3,
+		RankOffsetXm:    0.8e-3,
+		RankOffsetAlpha: 2.5,
+		RankRateSigma:   0.004,
+		IterJitterSec:   0.5e-3,
+
+		SigmaLogJitter:     0.08,
+		IterSigmaLogJitter: 0.14,
+		SlowProb:           0.07,
+		SlowDeltaSec:       13e-3,
+	}
+}
+
+// Name implements Model.
+func (m *MiniQMC) Name() string { return "miniqmc" }
+
+// FillProcessIteration implements Model.
+func (m *MiniQMC) FillProcessIteration(root *rng.Source, trial, rank, iter int, out []float64) {
+	rate := rankStream(root, trial, rank).LogNormal(0, m.RankRateSigma)
+	s := iterStream(root, trial, rank, iter)
+	offsetMean := m.RankOffsetXm * m.RankOffsetAlpha / (m.RankOffsetAlpha - 1)
+	center := m.MedianSec*rate + s.Normal(0, m.IterJitterSec) +
+		s.Pareto(m.RankOffsetXm, m.RankOffsetAlpha) - offsetMean
+	if m.SlowProb > 0 && s.Bernoulli(m.SlowProb) {
+		center += m.SlowDeltaSec
+	}
+	sigma := m.SigmaSec * s.LogNormal(0, m.SigmaLogJitter) *
+		perturbStream(root, iter).LogNormal(0, m.IterSigmaLogJitter)
+	tail := m.ThreadTailSec
+	for i := range out {
+		out[i] = center + s.Normal(0, sigma) + s.Exp(tail) - tail
+	}
+}

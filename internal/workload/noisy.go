@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"time"
+
+	"earlybird/internal/noise"
+	"earlybird/internal/rng"
+)
+
+// Noisy wraps a workload model with an OS-noise injector: every thread
+// compute time produced by the base model is perturbed by the noise
+// model, with deterministic per-(trial,rank,iter) noise streams.
+//
+// The paper attributes laggard threads partly to OS noise (Section 2,
+// citing Morari et al.); wrapping a clean model with noise validates
+// that the analysis pipeline attributes the injected interference the
+// same way (see the failure-injection tests in this package and
+// internal/experiments' ablations).
+type Noisy struct {
+	Base  Model
+	Noise noise.Model
+	// Suffix is appended to the base name (default "+noise").
+	Suffix string
+}
+
+// Name implements Model.
+func (n *Noisy) Name() string {
+	suffix := n.Suffix
+	if suffix == "" {
+		suffix = "+noise"
+	}
+	return n.Base.Name() + suffix
+}
+
+// pathNoise tags the noise stream family.
+const pathNoise uint64 = 4 << 20
+
+// FillProcessIteration implements Model.
+func (n *Noisy) FillProcessIteration(root *rng.Source, trial, rank, iter int, out []float64) {
+	n.Base.FillProcessIteration(root, trial, rank, iter, out)
+	if n.Noise == nil {
+		return
+	}
+	s := root.Child(pathNoise, uint64(trial), uint64(rank), uint64(iter))
+	for i, sec := range out {
+		d := n.Noise.Perturb(s, time.Duration(sec*float64(time.Second)))
+		out[i] = d.Seconds()
+	}
+}

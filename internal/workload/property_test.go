@@ -1,0 +1,61 @@
+package workload_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"earlybird/internal/rng"
+	"earlybird/internal/workload"
+)
+
+// Property: every built-in model produces strictly positive, sub-second
+// compute times at any coordinates — no parameterisation of the defaults
+// can emit a nonsensical sample.
+func TestModelsProducePlausibleTimesProperty(t *testing.T) {
+	models := []workload.Model{
+		workload.DefaultMiniFE(),
+		workload.DefaultMiniMD(),
+		workload.DefaultMiniQMC(),
+	}
+	check := func(seed uint64, trial, rank, iter uint8) bool {
+		root := rng.New(seed)
+		out := make([]float64, 48)
+		for _, m := range models {
+			m.FillProcessIteration(root, int(trial%16), int(rank%8), int(iter)%200, out)
+			for _, x := range out {
+				if x <= 0 || x >= 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: models are pure functions of (seed, coordinates) — two
+// interleaved fills at different coordinates never perturb each other.
+func TestModelsCoordinateIsolationProperty(t *testing.T) {
+	m := workload.DefaultMiniQMC()
+	check := func(seed uint64, a, b uint8) bool {
+		root := rng.New(seed)
+		first := make([]float64, 16)
+		m.FillProcessIteration(root, 0, 0, int(a)%200, first)
+		// Fill a different iteration in between.
+		scratch := make([]float64, 16)
+		m.FillProcessIteration(root, 1, 2, int(b)%200, scratch)
+		again := make([]float64, 16)
+		m.FillProcessIteration(root, 0, 0, int(a)%200, again)
+		for i := range first {
+			if first[i] != again[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,55 @@
+// Package workload provides stochastic per-thread compute-time models for
+// the three proxy applications the paper studies, calibrated to every
+// statistic the paper reports: per-application mean median arrival times,
+// inter-quartile ranges, laggard fractions and magnitudes, skew direction,
+// phase structure, and the Table 1 normality pass rates.
+//
+// The paper measured the real MiniFE, MiniMD and MiniQMC on the Manzano
+// cluster; those binaries and that machine are not reproducible here, so
+// the models replace them with distributions fitted to the published
+// numbers (see DESIGN.md, "Substitutions"). The live compute kernels in
+// internal/miniapps exercise the same instrumentation path with real work
+// when host timing is acceptable.
+package workload
+
+import (
+	"earlybird/internal/rng"
+)
+
+// Model generates the per-thread compute times (in seconds) of one process
+// iteration — the 48 samples (at the paper's geometry) of one rank's
+// parallel region in one iteration of one trial.
+//
+// Implementations must be deterministic functions of (root, trial, rank,
+// iter): filling the same coordinates twice yields identical times.
+type Model interface {
+	// Name identifies the application ("minife", "minimd", "miniqmc", ...).
+	Name() string
+	// FillProcessIteration writes len(out) thread compute times in seconds.
+	FillProcessIteration(root *rng.Source, trial, rank, iter int, out []float64)
+}
+
+// Path component tags keep derived stream families disjoint.
+const (
+	pathRankRate uint64 = 1 << 20 // per-(trial, rank) draws
+	pathIterDist uint64 = 2 << 20 // per-(trial, rank, iter) draws
+	pathPerturb  uint64 = 3 << 20 // study-level iteration perturbations
+)
+
+// rankStream returns the deterministic stream for per-(trial, rank) draws.
+func rankStream(root *rng.Source, trial, rank int) *rng.Source {
+	return root.Child(pathRankRate, uint64(trial), uint64(rank))
+}
+
+// iterStream returns the deterministic stream for per-(trial, rank, iter)
+// draws.
+func iterStream(root *rng.Source, trial, rank, iter int) *rng.Source {
+	return root.Child(pathIterDist, uint64(trial), uint64(rank), uint64(iter))
+}
+
+// perturbStream returns the deterministic stream for application-iteration
+// level events shared by all ranks and trials (e.g. a globally disturbed
+// iteration).
+func perturbStream(root *rng.Source, iter int) *rng.Source {
+	return root.Child(pathPerturb, uint64(iter))
+}
