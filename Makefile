@@ -1,0 +1,32 @@
+# Local and CI entry points — .github/workflows/ci.yml invokes exactly
+# these targets, so a green `make all` locally means a green CI run.
+
+GO ?= go
+
+.PHONY: all build test race bench lint fmt
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration per benchmark: a smoke test that the benchmarks still
+# compile and run, not a measurement.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+lint:
+	$(GO) vet ./...
+	@fmtout=$$(gofmt -l .); \
+	if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .

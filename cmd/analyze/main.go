@@ -1,26 +1,34 @@
-// Command analyze runs the paper's Section 4 analysis pipeline over a
-// dataset collected by threadtime: normality at the three aggregation
+// Command analyze runs the paper's Section 4 analysis pipeline over
+// datasets collected by threadtime: normality at the three aggregation
 // levels, laggard classification, reclaimable-time metrics, percentile
 // series and histograms.
+//
+// With several input files the datasets are analysed concurrently as one
+// campaign on the engine, and a summary line plus feasibility verdict is
+// printed per dataset as it completes. The detailed single-dataset
+// outputs (-percentiles, -hist, -timeline) require exactly one input.
 //
 // Examples:
 //
 //	threadtime -app minife -o fe.json
 //	analyze -in fe.json
 //	analyze -in fe.json -percentiles fe_percentiles.csv -hist 10us
+//	analyze fe.json md.json qmc.json        # concurrent campaign
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"earlybird/internal/analysis"
+	"earlybird/internal/engine"
 	"earlybird/internal/stats/normality"
 	"earlybird/internal/trace"
 )
 
-// durations maps human-friendly bin width names onto seconds.
+// binWidths maps human-friendly bin width names onto seconds.
 var binWidths = map[string]float64{
 	"10us": 10e-6,
 	"50us": 50e-6,
@@ -29,40 +37,88 @@ var binWidths = map[string]float64{
 
 func main() {
 	var (
-		in          = flag.String("in", "", "input dataset (JSON from threadtime); required")
+		in          = flag.String("in", "", "input dataset (JSON from threadtime); more may follow as arguments")
 		alpha       = flag.Float64("alpha", normality.DefaultAlpha, "normality significance level")
 		laggardMs   = flag.Float64("laggard-ms", 1.0, "laggard threshold in milliseconds")
-		percentiles = flag.String("percentiles", "", "write per-iteration percentile CSV to this file")
-		histWidth   = flag.String("hist", "", "render application histogram with this bin width (10us|50us|1ms)")
-		timeline    = flag.String("timeline", "", "write per-iteration laggard-count CSV to this file")
+		workers     = flag.Int("workers", 0, "max concurrently analysed datasets (0 = one per CPU)")
+		percentiles = flag.String("percentiles", "", "write per-iteration percentile CSV to this file (single input)")
+		histWidth   = flag.String("hist", "", "render application histogram with this bin width (10us|50us|1ms; single input)")
+		timeline    = flag.String("timeline", "", "write per-iteration laggard-count CSV to this file (single input)")
 	)
 	flag.Parse()
 
-	if err := run(*in, *alpha, *laggardMs*1e-3, *percentiles, *histWidth, *timeline); err != nil {
+	files := flag.Args()
+	if *in != "" {
+		files = append([]string{*in}, files...)
+	}
+	if err := run(files, *alpha, *laggardMs*1e-3, *workers, *percentiles, *histWidth, *timeline); err != nil {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in string, alpha, laggardSec float64, percentilesOut, histWidth, timelineOut string) error {
-	if in == "" {
-		return fmt.Errorf("-in is required")
+func run(files []string, alpha, laggardSec float64, workers int, percentilesOut, histWidth, timelineOut string) error {
+	if len(files) == 0 {
+		return fmt.Errorf("at least one input file is required (-in or arguments)")
 	}
-	f, err := os.Open(in)
+	if len(files) > 1 && (percentilesOut != "" || histWidth != "" || timelineOut != "") {
+		return fmt.Errorf("-percentiles, -hist and -timeline need exactly one input")
+	}
+
+	specs := make([]engine.Spec, 0, len(files))
+	for _, name := range files {
+		ds, err := readDataset(name)
+		if err != nil {
+			return err
+		}
+		specs = append(specs, engine.Spec{
+			Dataset:             ds,
+			Alpha:               alpha,
+			LaggardThresholdSec: laggardSec,
+		})
+	}
+
+	eng := engine.New(workers)
+	// Per-spec failures live on the results; render the datasets that
+	// succeeded before reporting the joined error.
+	results, err := eng.Run(engine.Campaign{Specs: specs})
+	if len(files) == 1 {
+		if err != nil {
+			return err
+		}
+		return renderDetailed(results[0], alpha, laggardSec, percentilesOut, histWidth, timelineOut)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			fmt.Printf("%s FAILED: %v\n", files[i], r.Err)
+			continue
+		}
+		ds := r.Study.Dataset()
+		fmt.Printf("%s — %s: %d trials x %d ranks x %d iterations x %d threads\n",
+			files[i], ds.App, ds.Trials, ds.Ranks, ds.Iterations, ds.Threads)
+		fmt.Printf("  %v\n  %v\n", r.Metrics, r.Table1)
+		fmt.Printf("  %s", r.Assessment)
+	}
+	return err
+}
+
+func readDataset(name string) (*trace.Dataset, error) {
+	f, err := os.Open(name)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer f.Close()
-	ds, err := trace.ReadJSON(f)
-	if err != nil {
-		return err
-	}
+	return trace.ReadJSON(f)
+}
+
+func renderDetailed(r engine.Result, alpha, laggardSec float64, percentilesOut, histWidth, timelineOut string) error {
+	ds := r.Study.Dataset()
 	fmt.Printf("dataset %s: %d trials x %d ranks x %d iterations x %d threads (%d samples)\n",
 		ds.App, ds.Trials, ds.Ranks, ds.Iterations, ds.Threads, ds.NumSamples())
 
 	fmt.Println("\n-- application-level normality --")
-	for _, r := range analysis.ApplicationLevelNormality(ds, alpha) {
-		fmt.Printf("%-18s stat %10.4f  p %.3g  reject=%v\n", r.Test, r.Statistic, r.PValue, r.RejectNormal)
+	for _, res := range analysis.ApplicationLevelNormality(ds, alpha) {
+		fmt.Printf("%-18s stat %10.4f  p %.3g  reject=%v\n", res.Test, res.Statistic, res.PValue, res.RejectNormal)
 	}
 
 	fmt.Println("\n-- application-iteration normality --")
@@ -72,16 +128,19 @@ func run(in string, alpha, laggardSec float64, percentilesOut, histWidth, timeli
 	}
 
 	fmt.Println("\n-- process-iteration normality (Table 1 row) --")
-	fmt.Println(analysis.Table1Row(ds, alpha))
+	fmt.Println(r.Table1)
 
 	fmt.Println("\n-- laggards and idle metrics --")
-	st := analysis.Laggards(ds, laggardSec)
+	st := r.Study.Laggards()
 	fmt.Printf("laggard iterations: %d/%d (%.1f%%), mean magnitude %.2f ms\n",
 		st.WithLaggard, st.Total, 100*st.Fraction, 1e3*st.MeanMagnitudeSec)
-	fmt.Println(analysis.ComputeMetrics(ds, laggardSec))
+	fmt.Println(r.Metrics)
+
+	fmt.Println("\n-- early-bird feasibility --")
+	fmt.Print(r.Assessment)
 
 	if percentilesOut != "" {
-		ps := analysis.IterationPercentiles(ds, nil)
+		ps := r.Study.Percentiles()
 		if err := os.WriteFile(percentilesOut, []byte(ps.CSV(1e-3)), 0o644); err != nil {
 			return err
 		}
@@ -100,9 +159,14 @@ func run(in string, alpha, laggardSec float64, percentilesOut, histWidth, timeli
 	if histWidth != "" {
 		w, ok := binWidths[histWidth]
 		if !ok {
-			return fmt.Errorf("unknown bin width %q (want 10us, 50us or 1ms)", histWidth)
+			names := make([]string, 0, len(binWidths))
+			for n := range binWidths {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			return fmt.Errorf("unknown bin width %q (want one of %v)", histWidth, names)
 		}
-		h := analysis.ApplicationHistogram(ds, w)
+		h := r.Study.Histogram(w)
 		fmt.Printf("\n-- application histogram (%s bins, peak %.2f ms) --\n", histWidth, 1e3*h.Peak())
 		fmt.Print(h.Render(40, 1e-3, "ms"))
 	}

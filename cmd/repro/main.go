@@ -16,6 +16,8 @@ import (
 	"os"
 	"path/filepath"
 
+	"earlybird/internal/cluster"
+	"earlybird/internal/engine"
 	"earlybird/internal/experiments"
 	"earlybird/internal/stats"
 	"earlybird/internal/stats/normality"
@@ -23,10 +25,11 @@ import (
 
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "reduced geometry (3x4x60x48) for a fast run")
-		exp    = flag.String("exp", "all", "experiment: all | E1 | E2 | table1 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | metrics | overlap | ablation | distsweep")
-		figdir = flag.String("figdir", "", "directory to write figure CSV data into")
-		seed   = flag.Uint64("seed", 1, "master seed")
+		quick   = flag.Bool("quick", false, "reduced geometry (3x4x60x48) for a fast run")
+		exp     = flag.String("exp", "all", "experiment: all | E1 | E2 | table1 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | metrics | overlap | ablation | distsweep | campaign")
+		figdir  = flag.String("figdir", "", "directory to write figure CSV data into")
+		seed    = flag.Uint64("seed", 1, "master seed")
+		workers = flag.Int("workers", 0, "max concurrently executing studies (0 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -35,12 +38,50 @@ func main() {
 		cfg = experiments.Quick()
 	}
 	cfg.Cluster.Seed = *seed
-	suite := experiments.NewSuite(cfg)
+	eng := engine.New(*workers)
+	suite := experiments.NewSuiteOn(cfg, eng)
 
 	if err := run(suite, *exp, *figdir); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
+}
+
+// runCampaign demonstrates the campaign engine: the three paper apps at
+// the configured and quick geometries — plus one deliberate duplicate of
+// every spec — fanned out concurrently, results streamed as they
+// complete, duplicates served from the dataset cache.
+func runCampaign(s *experiments.Suite, w *os.File) error {
+	geoms := []cluster.Config{s.Config().Cluster, experiments.Quick().Cluster}
+	geoms[1].Seed = geoms[0].Seed
+	var specs []engine.Spec
+	for _, app := range experiments.AppNames {
+		for _, g := range geoms {
+			specs = append(specs, engine.Spec{App: app, Geometry: g})
+		}
+	}
+	specs = append(specs, specs...) // duplicates: must not re-execute
+
+	eng := s.Engine()
+	_, err := eng.Run(engine.Campaign{
+		Specs: specs,
+		Collect: func(r engine.Result) {
+			if r.Err != nil {
+				fmt.Fprintf(w, "spec %2d %-8s FAILED: %v\n", r.Index, r.Spec.App, r.Err)
+				return
+			}
+			g := r.Spec.Geometry
+			fmt.Fprintf(w, "spec %2d %-8s %dx%dx%dx%d cache=%-5v median %6.2f ms -> %s\n",
+				r.Index, r.Spec.App, g.Trials, g.Ranks, g.Iterations, g.Threads,
+				r.CacheHit, 1e3*r.Metrics.MeanMedianSec, r.Assessment.Recommendation)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d specs, %d executions, %d cached datasets\n",
+		len(specs), eng.Executions(), eng.CachedDatasets())
+	return nil
 }
 
 func run(s *experiments.Suite, exp, figdir string) error {
@@ -113,6 +154,8 @@ func run(s *experiments.Suite, exp, figdir string) error {
 		s.WriteAblationReport(w)
 	case "distsweep":
 		s.WriteDistSweepReport(w, experiments.DefaultDistSweep())
+	case "campaign":
+		return runCampaign(s, w)
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

@@ -14,15 +14,33 @@
 //	a := study.Feasibility(1<<20, earlybird.OmniPath(), 1e-3)
 //	fmt.Println(a.Recommendation)                      // Section 5 verdict
 //
+// Batches of studies run as a campaign: RunCampaign fans the specs out
+// over a bounded worker pool, deduplicates identical specs to a single
+// execution, serves repeated (model, geometry, seed) datasets from a
+// content-addressed cache, and streams results to a collector as they
+// complete — deterministically, regardless of scheduling order:
+//
+//	results, err := earlybird.RunCampaign(earlybird.Campaign{
+//		Specs: []earlybird.CampaignSpec{
+//			{App: "minife"},
+//			{App: "minimd", Geometry: earlybird.QuickGeometry()},
+//			{App: "miniqmc", Alpha: 0.01},
+//		},
+//	})
+//
+// To share the dataset cache across several campaigns, create one engine
+// with NewEngine and call its Run method directly.
+//
 // The heavy lifting lives in the internal packages (omp, trace, workload,
-// cluster, stats/normality, partcomm, analysis, experiments); this
-// package is the stable facade.
+// cluster, engine, stats/normality, partcomm, analysis, experiments);
+// this package is the stable facade.
 package earlybird
 
 import (
 	"earlybird/internal/analysis"
 	"earlybird/internal/cluster"
 	"earlybird/internal/core"
+	"earlybird/internal/engine"
 	"earlybird/internal/network"
 	"earlybird/internal/trace"
 )
@@ -76,3 +94,30 @@ func QuickGeometry() Geometry { return cluster.SmallConfig() }
 // OmniPath returns the interconnect parameters representative of the
 // paper's testbed fabric.
 func OmniPath() Fabric { return network.OmniPath() }
+
+// Campaign is a batch of study specs plus execution policy.
+type Campaign = engine.Campaign
+
+// CampaignSpec describes one study of a campaign; zero fields fill with
+// the paper's defaults.
+type CampaignSpec = engine.Spec
+
+// CampaignResult is the analysed outcome of one campaign spec.
+type CampaignResult = engine.Result
+
+// Engine executes campaigns over a shared content-addressed dataset
+// cache.
+type Engine = engine.Engine
+
+// NewEngine returns an engine whose campaigns run at most workers studies
+// concurrently; workers <= 0 means one per usable CPU. Campaigns run on
+// one engine share its dataset cache.
+func NewEngine(workers int) *Engine { return engine.New(workers) }
+
+// RunCampaign executes the campaign on a fresh engine and returns one
+// result per spec, in spec order. Identical specs execute once; per-spec
+// failures are recorded on the results and joined into the returned
+// error.
+func RunCampaign(c Campaign) ([]CampaignResult, error) {
+	return engine.New(c.Workers).Run(c)
+}

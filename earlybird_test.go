@@ -62,6 +62,53 @@ func TestFacadeDatasetRoundTrip(t *testing.T) {
 	}
 }
 
+func TestFacadeRunCampaign(t *testing.T) {
+	small := earlybird.Geometry{Trials: 1, Ranks: 2, Iterations: 12, Threads: 48, Seed: 21}
+	var streamed int
+	results, err := earlybird.RunCampaign(earlybird.Campaign{
+		Specs: []earlybird.CampaignSpec{
+			{App: "minife", Geometry: small},
+			{App: "miniqmc", Geometry: small},
+			{App: "minife", Geometry: small}, // duplicate: cache-served
+		},
+		Collect: func(earlybird.CampaignResult) { streamed++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed != 3 {
+		t.Errorf("collector saw %d results", streamed)
+	}
+	if results[0].Metrics != results[2].Metrics {
+		t.Error("duplicate specs disagree")
+	}
+	if !results[2].CacheHit {
+		t.Error("duplicate spec not served from cache")
+	}
+	if results[1].Assessment.Recommendation != earlybird.RecommendFineGrained {
+		t.Errorf("miniqmc recommendation %q", results[1].Assessment.Recommendation)
+	}
+}
+
+func TestFacadeSharedEngine(t *testing.T) {
+	small := earlybird.Geometry{Trials: 1, Ranks: 2, Iterations: 12, Threads: 48, Seed: 22}
+	eng := earlybird.NewEngine(2)
+	if _, err := eng.Run(earlybird.Campaign{Specs: []earlybird.CampaignSpec{{App: "minimd", Geometry: small}}}); err != nil {
+		t.Fatal(err)
+	}
+	// A second campaign on the same engine reuses the cached dataset.
+	results, err := eng.Run(earlybird.Campaign{Specs: []earlybird.CampaignSpec{{App: "minimd", Geometry: small, Alpha: 0.01}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].CacheHit {
+		t.Error("second campaign did not hit the shared cache")
+	}
+	if got := eng.Executions(); got != 1 {
+		t.Errorf("executions = %d, want 1", got)
+	}
+}
+
 func TestFacadeFabric(t *testing.T) {
 	f := earlybird.OmniPath()
 	if f.BandwidthBytesPerSec <= 0 {

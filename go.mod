@@ -1,0 +1,3 @@
+module earlybird
+
+go 1.24

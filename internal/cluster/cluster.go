@@ -53,6 +53,14 @@ func (c Config) Validate() error {
 // scheduling because every (trial, rank, iteration) derives its own
 // random stream.
 func Run(model workload.Model, cfg Config) (*trace.Dataset, error) {
+	return RunWorkers(model, cfg, 0)
+}
+
+// RunWorkers is Run with an explicit bound on the number of fill
+// goroutines; workers <= 0 means one per CPU. The campaign engine uses
+// this to divide the machine between concurrently executing studies
+// instead of oversubscribing it.
+func RunWorkers(model workload.Model, cfg Config, workers int) (*trace.Dataset, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -62,7 +70,9 @@ func Run(model workload.Model, cfg Config) (*trace.Dataset, error) {
 	type job struct{ trial, rank int }
 	jobs := make(chan job)
 	var wg sync.WaitGroup
-	workers := runtime.NumCPU()
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
 	if workers > cfg.Trials*cfg.Ranks {
 		workers = cfg.Trials * cfg.Ranks
 	}

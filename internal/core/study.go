@@ -41,18 +41,14 @@ type Options struct {
 
 func (o *Options) fill() error {
 	if o.Model == nil {
-		switch o.App {
-		case "minife":
-			o.Model = workload.DefaultMiniFE()
-		case "minimd":
-			o.Model = workload.DefaultMiniMD()
-		case "miniqmc":
-			o.Model = workload.DefaultMiniQMC()
-		case "":
+		if o.App == "" {
 			return errors.New("core: either App or Model must be set")
-		default:
-			return fmt.Errorf("core: unknown app %q", o.App)
 		}
+		m, err := workload.ByName(o.App)
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		o.Model = m
 	}
 	if o.Geometry == (cluster.Config{}) {
 		o.Geometry = cluster.DefaultConfig()
@@ -88,20 +84,30 @@ func NewStudy(opts Options) (*Study, error) {
 // FromDataset wraps an existing dataset (for example, read back from
 // JSON) in a Study with default analysis parameters.
 func FromDataset(ds *trace.Dataset) (*Study, error) {
+	return FromDatasetWith(ds, Options{})
+}
+
+// FromDatasetWith wraps an existing dataset in a Study with explicit
+// analysis parameters (zero values fill with the defaults). Options.App
+// and Options.Model are ignored: the dataset already carries its
+// application identity. The study does not copy or mutate ds, so a cached
+// dataset may safely back many studies with different analysis options.
+func FromDatasetWith(ds *trace.Dataset, opts Options) (*Study, error) {
 	if ds == nil {
 		return nil, errors.New("core: nil dataset")
 	}
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
-	return &Study{
-		opts: Options{
-			App:                 ds.App,
-			Alpha:               normality.DefaultAlpha,
-			LaggardThresholdSec: analysis.DefaultLaggardThresholdSec,
-		},
-		ds: ds,
-	}, nil
+	opts.App = ds.App
+	opts.Model = nil
+	if opts.Alpha == 0 {
+		opts.Alpha = normality.DefaultAlpha
+	}
+	if opts.LaggardThresholdSec == 0 {
+		opts.LaggardThresholdSec = analysis.DefaultLaggardThresholdSec
+	}
+	return &Study{opts: opts, ds: ds}, nil
 }
 
 // Dataset returns the underlying dataset.
@@ -157,6 +163,33 @@ const (
 	RecommendSophisticated Recommendation = "sophisticated-approach-needed"
 )
 
+// Classification cutoffs for the Section 5 recommendation (see Classify).
+const (
+	// IQRToMedianCutoff is the IQR/median ratio above which the arrival
+	// distribution counts as persistently wide (MiniQMC's is ~0.15).
+	IQRToMedianCutoff = 0.05
+	// LaggardFractionCutoff is the laggard-iteration fraction above which
+	// reclaimable time counts as laggard-driven (MiniFE's is ~0.224).
+	LaggardFractionCutoff = 0.10
+)
+
+// Classify maps the two feasibility discriminants onto a recommendation:
+// a wide distribution (IQR/median strictly above IQRToMedianCutoff) calls
+// for fine-grained or binned delivery; otherwise a laggard-driven profile
+// (fraction strictly above LaggardFractionCutoff) calls for timeout
+// flushing; tight arrivals with rare laggards need a sophisticated
+// approach. Values exactly at a cutoff do not trigger it.
+func Classify(iqrToMedian, laggardFraction float64) Recommendation {
+	switch {
+	case iqrToMedian > IQRToMedianCutoff:
+		return RecommendFineGrained
+	case laggardFraction > LaggardFractionCutoff:
+		return RecommendTimeoutFlush
+	default:
+		return RecommendSophisticated
+	}
+}
+
 // Assessment is the early-bird feasibility verdict for one application.
 type Assessment struct {
 	App string
@@ -199,16 +232,7 @@ func (s *Study) Feasibility(bytesPerPart int, fabric network.Fabric, binTimeoutS
 		partcomm.FineGrained{},
 		partcomm.Binned{TimeoutSec: binTimeoutSec},
 	})
-	switch {
-	case a.IQRToMedian > 0.05:
-		// Wide arrival distribution: over 5% of the median between the
-		// quartiles alone (MiniQMC's ratio is ~0.15).
-		a.Recommendation = RecommendFineGrained
-	case a.LaggardFraction > 0.10:
-		a.Recommendation = RecommendTimeoutFlush
-	default:
-		a.Recommendation = RecommendSophisticated
-	}
+	a.Recommendation = Classify(a.IQRToMedian, a.LaggardFraction)
 	return a
 }
 

@@ -127,6 +127,97 @@ func TestFeasibilityRecommendations(t *testing.T) {
 	}
 }
 
+func TestClassifyBoundaries(t *testing.T) {
+	const eps = 1e-9
+	cases := []struct {
+		name                         string
+		iqrToMedian, laggardFraction float64
+		want                         Recommendation
+	}{
+		// The IQR/median cutoff is strict: exactly 0.05 does not count as
+		// wide, just above it does — regardless of the laggard fraction.
+		{"iqr-at-cutoff", IQRToMedianCutoff, 0, RecommendSophisticated},
+		{"iqr-above-cutoff", IQRToMedianCutoff + eps, 0, RecommendFineGrained},
+		{"iqr-dominates-laggards", IQRToMedianCutoff + eps, 1, RecommendFineGrained},
+		// The laggard cutoff is also strict, and only consulted when the
+		// distribution is not wide.
+		{"laggards-at-cutoff", 0, LaggardFractionCutoff, RecommendSophisticated},
+		{"laggards-above-cutoff", 0, LaggardFractionCutoff + eps, RecommendTimeoutFlush},
+		{"laggards-below-iqr-at", IQRToMedianCutoff, LaggardFractionCutoff + eps, RecommendTimeoutFlush},
+		{"both-zero", 0, 0, RecommendSophisticated},
+		{"both-high", 1, 1, RecommendFineGrained},
+	}
+	for _, c := range cases {
+		if got := Classify(c.iqrToMedian, c.laggardFraction); got != c.want {
+			t.Errorf("%s: Classify(%v, %v) = %q, want %q",
+				c.name, c.iqrToMedian, c.laggardFraction, got, c.want)
+		}
+	}
+}
+
+func TestFeasibilitySyntheticBoundaries(t *testing.T) {
+	// Synthetic models pin each side of the classification: a wide normal
+	// distribution (IQR/median ≈ 1.349*sigma/median ≈ 0.13) must classify
+	// fine-grained; a tight distribution with a guaranteed 8 ms laggard
+	// every iteration must classify timeout-flush; a tight distribution
+	// with no laggards must fall through to sophisticated.
+	run := func(m workload.Model) Assessment {
+		s, err := NewStudy(Options{Model: m, Geometry: quickGeom})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Feasibility(1<<20, network.OmniPath(), 1e-3)
+	}
+
+	wide := run(&workload.NormalModel{AppName: "wide", MedianSec: 10e-3, SigmaSec: 1e-3})
+	if wide.Recommendation != RecommendFineGrained {
+		t.Errorf("wide: %q (iqr/median %.4f)", wide.Recommendation, wide.IQRToMedian)
+	}
+	if wide.IQRToMedian <= IQRToMedianCutoff {
+		t.Errorf("wide: iqr/median %.4f not above cutoff", wide.IQRToMedian)
+	}
+
+	laggy := run(&workload.SingleLaggardModel{AppName: "laggy", MedianSec: 10e-3, JitterSec: 0.01e-3, LagSec: 8e-3})
+	if laggy.Recommendation != RecommendTimeoutFlush {
+		t.Errorf("laggy: %q (laggards %.3f, iqr/median %.4f)",
+			laggy.Recommendation, laggy.LaggardFraction, laggy.IQRToMedian)
+	}
+	if laggy.LaggardFraction <= LaggardFractionCutoff {
+		t.Errorf("laggy: laggard fraction %.3f not above cutoff", laggy.LaggardFraction)
+	}
+
+	tight := run(&workload.NormalModel{AppName: "tight", MedianSec: 10e-3, SigmaSec: 0.01e-3})
+	if tight.Recommendation != RecommendSophisticated {
+		t.Errorf("tight: %q (laggards %.3f, iqr/median %.4f)",
+			tight.Recommendation, tight.LaggardFraction, tight.IQRToMedian)
+	}
+}
+
+func TestFromDatasetWith(t *testing.T) {
+	d := cluster.MustRun(workload.DefaultMiniFE(), quickGeom)
+	loose, err := FromDatasetWith(d, Options{Alpha: 0.01, LaggardThresholdSec: 5e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defaults, err := FromDatasetWith(d, Options{App: "ignored", Model: workload.DefaultMiniMD()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defaults.App() != "minife" {
+		t.Errorf("App/Model overrode the dataset identity: %q", defaults.App())
+	}
+	// A 5 ms laggard rule must find no more laggards than the default 1 ms.
+	if loose.Laggards().WithLaggard > defaults.Laggards().WithLaggard {
+		t.Error("looser threshold found more laggards")
+	}
+	if loose.Table1() == defaults.Table1() {
+		t.Error("alpha=0.01 produced the same Table1 row as the default")
+	}
+	if _, err := FromDatasetWith(nil, Options{}); err == nil {
+		t.Error("nil dataset accepted")
+	}
+}
+
 func TestFeasibilityOverlapOrdering(t *testing.T) {
 	// MiniQMC's wide arrivals must yield much more fine-grained overlap
 	// than MiniMD's tight ones (the paper's headline contrast).

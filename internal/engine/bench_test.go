@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"testing"
+
+	"earlybird/internal/cluster"
+	"earlybird/internal/core"
+	"earlybird/internal/network"
+)
+
+// benchSpecs is the acceptance workload: the three paper apps at two
+// geometries each, all distinct (no cache dedup — the speedup measured
+// here is pure outer-level concurrency).
+func benchSpecs() []Spec {
+	geoms := []cluster.Config{
+		{Trials: 2, Ranks: 4, Iterations: 40, Threads: 48, Seed: 1},
+		{Trials: 2, Ranks: 4, Iterations: 40, Threads: 48, Seed: 2},
+	}
+	var specs []Spec
+	for _, app := range []string{"minife", "minimd", "miniqmc"} {
+		for _, g := range geoms {
+			specs = append(specs, Spec{App: app, Geometry: g})
+		}
+	}
+	return specs
+}
+
+// BenchmarkCampaign runs the six-study campaign through the engine's
+// bounded worker pool. Compare against BenchmarkCampaignSerial: on a
+// multi-core host the engine overlaps the studies' generation and (serial
+// per study) analysis phases and wins.
+func BenchmarkCampaign(b *testing.B) {
+	specs := benchSpecs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New(0) // fresh engine: no cross-iteration cache hits
+		if _, err := e.Run(Campaign{Specs: specs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignSerial is the hand-rolled loop the engine replaces:
+// one study at a time, analysis strictly after generation.
+func BenchmarkCampaignSerial(b *testing.B) {
+	specs := benchSpecs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, sp := range specs {
+			study, err := core.NewStudy(core.Options{App: sp.App, Geometry: sp.Geometry})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = study.Metrics()
+			_ = study.Table1()
+			_ = study.Feasibility(1<<20, network.OmniPath(), 1e-3)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package engine executes campaigns: many studies fanned out over a
+// bounded worker pool, backed by a content-addressed dataset cache keyed
+// by (model name, geometry, seed). Identical study specs are deduplicated
+// to a single execution, and distinct specs over the same dataset share
+// one generation. Results are deterministic regardless of scheduling
+// order because dataset generation is a pure function of (model, seed)
+// and the analysis pipeline is pure over the dataset.
+//
+// This is the batch substrate behind internal/experiments, cmd/repro,
+// cmd/analyze and the earlybird.RunCampaign facade — the outer level of
+// parallelism over whole studies, above cluster.Run's inner level over
+// one study's trials and ranks.
+package engine
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"earlybird/internal/cluster"
+	"earlybird/internal/trace"
+	"earlybird/internal/workload"
+)
+
+// Key is the content address of a generated dataset: the workload model's
+// name plus the full geometry including the master seed. Two specs with
+// equal keys receive the identical dataset, so custom models must use
+// distinct names for distinct parameterisations.
+type Key struct {
+	Model    string
+	Geometry cluster.Config
+}
+
+// cacheEntry single-flights one dataset generation: the first goroutine
+// to reach the entry runs it, everyone else blocks on the Once and reads
+// the shared result.
+type cacheEntry struct {
+	once sync.Once
+	ds   *trace.Dataset
+	err  error
+}
+
+// Engine is a dataset cache plus the worker-pool configuration shared by
+// the campaigns run on it. The zero value is not usable; call New. An
+// Engine is safe for concurrent use and may be shared across campaigns
+// so later campaigns reuse earlier datasets.
+type Engine struct {
+	workers int
+
+	mu    sync.Mutex
+	cache map[Key]*cacheEntry
+
+	executions atomic.Int64
+	inFlight   atomic.Int64
+}
+
+// New returns an engine whose campaigns run at most workers studies
+// concurrently; workers <= 0 means one per usable CPU (GOMAXPROCS).
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers, cache: map[Key]*cacheEntry{}}
+}
+
+// Workers returns the campaign concurrency bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Executions returns how many dataset generations the engine has actually
+// run — cache hits do not count. Tests use this to verify deduplication.
+func (e *Engine) Executions() int64 { return e.executions.Load() }
+
+// CachedDatasets returns the number of distinct datasets held.
+func (e *Engine) CachedDatasets() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
+}
+
+// Dataset returns the dataset for (model, geometry), generating it on
+// first request and serving every later — or concurrent — request from
+// the cache. The second return reports whether this call was served from
+// cache without triggering the generation. Callers must not mutate the
+// returned dataset.
+func (e *Engine) Dataset(model workload.Model, geom cluster.Config) (*trace.Dataset, bool, error) {
+	return e.dataset(model, geom, 1)
+}
+
+// Prefetch generates the datasets of several models at one geometry
+// concurrently — dataset generation only, no analysis — dividing the
+// machine fairly between them. Already-cached datasets cost nothing.
+func (e *Engine) Prefetch(models []workload.Model, geom cluster.Config) error {
+	concurrent := e.workers
+	if concurrent > len(models) {
+		concurrent = len(models)
+	}
+	sem := make(chan struct{}, concurrent)
+	var wg sync.WaitGroup
+	errs := make([]error, len(models))
+	for i, m := range models {
+		wg.Add(1)
+		go func(i int, m workload.Model) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			_, _, errs[i] = e.dataset(m, geom, concurrent)
+		}(i, m)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// dataset is Dataset with an expected-concurrency hint from callers that
+// know their fan-out up front (campaigns, Prefetch), so every generation
+// in a batch gets its fair share of CPUs from the start instead of early
+// starters over-allocating.
+func (e *Engine) dataset(model workload.Model, geom cluster.Config, hint int) (*trace.Dataset, bool, error) {
+	key := Key{Model: model.Name(), Geometry: geom}
+	e.mu.Lock()
+	entry, ok := e.cache[key]
+	if !ok {
+		entry = &cacheEntry{}
+		e.cache[key] = entry
+	}
+	e.mu.Unlock()
+
+	hit := true
+	entry.once.Do(func() {
+		hit = false
+		e.executions.Add(1)
+		concurrent := int(e.inFlight.Add(1))
+		defer e.inFlight.Add(-1)
+		if hint > concurrent {
+			concurrent = hint
+		}
+		entry.ds, entry.err = cluster.RunWorkers(model, geom, e.innerWorkers(concurrent))
+	})
+	return entry.ds, hit, entry.err
+}
+
+// innerWorkers divides the CPUs between concurrent generations so a lone
+// Dataset call still uses the whole machine while a fan-out of N studies
+// does not run N x GOMAXPROCS fill goroutines.
+func (e *Engine) innerWorkers(concurrent int) int {
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	inner := runtime.GOMAXPROCS(0) / concurrent
+	if inner < 1 {
+		inner = 1
+	}
+	return inner
+}

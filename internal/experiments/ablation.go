@@ -192,6 +192,7 @@ func earliest(xs []float64) int {
 
 // WriteAblationReport renders all ablations to w.
 func (s *Suite) WriteAblationReport(w io.Writer) {
+	_ = s.Warm() // fill the dataset cache concurrently before the sweeps
 	fmt.Fprintln(w, "== A1: fine-grained early-bird overlap vs partition size ==")
 	a1 := s.AblationPartitionSize(nil)
 	for _, app := range sortedKeys(a1) {

@@ -73,8 +73,15 @@ func (s *Suite) DistSweep(cfg DistSweepConfig) map[string][]DistPoint {
 		partcomm.FineGrained{},
 		partcomm.Binned{TimeoutSec: s.cfg.BinTimeoutSec},
 	}
+	// Each parameterisation carries its label as the model name: the
+	// engine's dataset cache is keyed by (name, geometry, seed), so
+	// distinct sweep points get distinct cache entries while repeated
+	// sweeps over one suite are served from cache.
 	evalModel := func(m workload.Model, param float64, label string) DistPoint {
-		d := cluster.MustRun(m, cfg.Geometry)
+		d, _, err := s.eng.Dataset(m, cfg.Geometry)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: distsweep %s: %v", label, err))
+		}
 		res := partcomm.Evaluate(d, s.cfg.BytesPerPartition, s.cfg.Fabric, strategies)
 		potential, window := 0.0, 0.0
 		n := 0
@@ -106,19 +113,25 @@ func (s *Suite) DistSweep(cfg DistSweepConfig) map[string][]DistPoint {
 		}
 	}
 
+	// Model names are cache keys and carry the full-precision parameters;
+	// the rounded human-readable labels are display-only (two sweep points
+	// may round to the same label but must never share a dataset).
 	out := map[string][]DistPoint{}
 	for _, sigma := range cfg.NormalSigmas {
-		m := &workload.NormalModel{AppName: "normal", MedianSec: cfg.MedianSec, SigmaSec: sigma}
+		name := fmt.Sprintf("normal(median=%g,sigma=%g)", cfg.MedianSec, sigma)
+		m := &workload.NormalModel{AppName: name, MedianSec: cfg.MedianSec, SigmaSec: sigma}
 		out["normal"] = append(out["normal"],
 			evalModel(m, sigma, fmt.Sprintf("normal(sigma=%.2gms)", 1e3*sigma)))
 	}
 	for _, lag := range cfg.LaggardLags {
-		m := &workload.SingleLaggardModel{AppName: "laggard", MedianSec: cfg.MedianSec, JitterSec: 0.05e-3, LagSec: lag}
+		name := fmt.Sprintf("laggard(median=%g,lag=%g)", cfg.MedianSec, lag)
+		m := &workload.SingleLaggardModel{AppName: name, MedianSec: cfg.MedianSec, JitterSec: 0.05e-3, LagSec: lag}
 		out["single-laggard"] = append(out["single-laggard"],
 			evalModel(m, lag, fmt.Sprintf("laggard(+%.2gms)", 1e3*lag)))
 	}
 	for _, hw := range cfg.UniformHalfWidths {
-		m := &workload.UniformModel{AppName: "uniform", MedianSec: cfg.MedianSec, HalfWidthSec: hw}
+		name := fmt.Sprintf("uniform(median=%g,hw=%g)", cfg.MedianSec, hw)
+		m := &workload.UniformModel{AppName: name, MedianSec: cfg.MedianSec, HalfWidthSec: hw}
 		out["uniform"] = append(out["uniform"],
 			evalModel(m, hw, fmt.Sprintf("uniform(±%.2gms)", 1e3*hw)))
 	}

@@ -8,10 +8,10 @@ package experiments
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"earlybird/internal/analysis"
 	"earlybird/internal/cluster"
+	"earlybird/internal/engine"
 	"earlybird/internal/network"
 	"earlybird/internal/partcomm"
 	"earlybird/internal/stats"
@@ -59,55 +59,70 @@ func Quick() Config {
 	return c
 }
 
-// Suite runs experiments over lazily generated, cached datasets.
+// Suite runs experiments over datasets generated and cached by a
+// campaign engine: repeated requests for an application are served from
+// the engine's content-addressed cache, and Warm fans the three
+// applications out concurrently before a report renders.
 type Suite struct {
-	cfg Config
-
-	mu       sync.Mutex
-	models   map[string]workload.Model
-	datasets map[string]*trace.Dataset
+	cfg    Config
+	eng    *engine.Engine
+	models map[string]workload.Model
 }
 
-// NewSuite returns a Suite over the three default application models.
+// NewSuite returns a Suite over the three default application models on a
+// private engine.
 func NewSuite(cfg Config) *Suite {
-	return &Suite{
-		cfg: cfg,
-		models: map[string]workload.Model{
-			"minife":  workload.DefaultMiniFE(),
-			"minimd":  workload.DefaultMiniMD(),
-			"miniqmc": workload.DefaultMiniQMC(),
-		},
-		datasets: map[string]*trace.Dataset{},
+	return NewSuiteOn(cfg, engine.New(0))
+}
+
+// NewSuiteOn returns a Suite running on a shared engine, so several
+// suites (or a suite and ad-hoc campaigns) reuse one dataset cache.
+func NewSuiteOn(cfg Config, eng *engine.Engine) *Suite {
+	models := make(map[string]workload.Model, len(AppNames))
+	for _, app := range AppNames {
+		m, err := workload.ByName(app)
+		if err != nil {
+			panic(err) // AppNames lists only built-in apps
+		}
+		models[app] = m
 	}
+	return &Suite{cfg: cfg, eng: eng, models: models}
 }
 
 // Config returns the suite configuration.
 func (s *Suite) Config() Config { return s.cfg }
 
+// Engine returns the campaign engine backing the suite.
+func (s *Suite) Engine() *engine.Engine { return s.eng }
+
 // Model returns the workload model backing an application.
 func (s *Suite) Model(app string) workload.Model {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.models[app]
 }
 
-// Dataset returns the (cached) dataset of one application.
+// Dataset returns the (engine-cached) dataset of one application.
 func (s *Suite) Dataset(app string) *trace.Dataset {
-	s.mu.Lock()
 	m, ok := s.models[app]
-	d := s.datasets[app]
-	s.mu.Unlock()
 	if !ok {
 		panic(fmt.Sprintf("experiments: unknown app %q", app))
 	}
-	if d != nil {
-		return d
+	d, _, err := s.eng.Dataset(m, s.cfg.Cluster)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s: %v", app, err))
 	}
-	d = cluster.MustRun(m, s.cfg.Cluster)
-	s.mu.Lock()
-	s.datasets[app] = d
-	s.mu.Unlock()
 	return d
+}
+
+// Warm generates all three applications' datasets concurrently, so the
+// serially rendered experiments that follow hit the engine's cache. It
+// generates datasets only — no analysis — and is idempotent and cheap
+// when the cache is already populated.
+func (s *Suite) Warm() error {
+	models := make([]workload.Model, 0, len(AppNames))
+	for _, app := range AppNames {
+		models = append(models, s.models[app])
+	}
+	return s.eng.Prefetch(models, s.cfg.Cluster)
 }
 
 // E1AppLevelNormality tests the full application aggregation per app

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"earlybird/internal/engine"
 	"earlybird/internal/stats/normality"
 )
 
@@ -23,6 +24,38 @@ func TestDatasetCachingAndDeterminism(t *testing.T) {
 		if x[i] != y[i] {
 			t.Fatal("suites with the same config disagree")
 		}
+	}
+}
+
+func TestWarmFillsEngineCache(t *testing.T) {
+	s := quickSuite()
+	if err := s.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Engine().Executions(); got != int64(len(AppNames)) {
+		t.Errorf("executions after Warm = %d, want %d", got, len(AppNames))
+	}
+	// Every per-app request and a second Warm are now cache hits.
+	for _, app := range AppNames {
+		s.Dataset(app)
+	}
+	if err := s.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Engine().Executions(); got != int64(len(AppNames)) {
+		t.Errorf("executions after reuse = %d, want %d", got, len(AppNames))
+	}
+}
+
+func TestSuitesShareEngineCache(t *testing.T) {
+	eng := engine.New(0)
+	a := NewSuiteOn(Quick(), eng)
+	b := NewSuiteOn(Quick(), eng)
+	if a.Dataset("miniqmc") != b.Dataset("miniqmc") {
+		t.Error("suites on one engine generated separate datasets")
+	}
+	if got := eng.Executions(); got != 1 {
+		t.Errorf("executions = %d, want 1", got)
 	}
 }
 

@@ -26,6 +26,10 @@ var paperMetrics = map[string][4]float64{
 // WriteReport runs every experiment and renders a full paper-vs-measured
 // report to w. It is the engine behind cmd/repro and EXPERIMENTS.md.
 func (s *Suite) WriteReport(w io.Writer) {
+	// Generate all three datasets concurrently up front; the experiments
+	// below render serially from the engine's cache. A generation failure
+	// surfaces as the same panic Dataset would raise.
+	_ = s.Warm()
 	cfg := s.cfg.Cluster
 	fmt.Fprintf(w, "Reproduction report — %d trials x %d ranks x %d iterations x %d threads (%d samples/app)\n\n",
 		cfg.Trials, cfg.Ranks, cfg.Iterations, cfg.Threads,

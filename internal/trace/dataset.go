@@ -3,7 +3,9 @@ package trace
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math"
 )
 
 // Dataset holds the compute times of a full study of one application:
@@ -106,6 +108,36 @@ func (d *Dataset) EachProcessIteration(fn func(trial, rank, iter int, xs []float
 // default geometry — the population of Table 1).
 func (d *Dataset) NumProcessIterations() int {
 	return d.Trials * d.Ranks * d.Iterations
+}
+
+// Fingerprint returns a 64-bit FNV-1a hash over the dataset's app name,
+// geometry and the IEEE-754 bits of every sample, in deterministic order.
+// Two datasets with equal fingerprints are byte-identical for analysis
+// purposes; the campaign engine uses this to verify cache correctness.
+func (d *Dataset) Fingerprint() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(d.App))
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	writeU64(uint64(d.Trials))
+	writeU64(uint64(d.Ranks))
+	writeU64(uint64(d.Iterations))
+	writeU64(uint64(d.Threads))
+	for _, trial := range d.Times {
+		for _, rank := range trial {
+			for _, iter := range rank {
+				for _, x := range iter {
+					writeU64(math.Float64bits(x))
+				}
+			}
+		}
+	}
+	return h.Sum64()
 }
 
 // WriteCSV writes the dataset in long form:

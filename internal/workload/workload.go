@@ -13,6 +13,8 @@
 package workload
 
 import (
+	"fmt"
+
 	"earlybird/internal/rng"
 )
 
@@ -27,6 +29,22 @@ type Model interface {
 	Name() string
 	// FillProcessIteration writes len(out) thread compute times in seconds.
 	FillProcessIteration(root *rng.Source, trial, rank, iter int, out []float64)
+}
+
+// ByName returns the default model of a built-in application. It is the
+// single registry of built-in apps, shared by core.Options and the
+// campaign engine's spec resolution.
+func ByName(app string) (Model, error) {
+	switch app {
+	case "minife":
+		return DefaultMiniFE(), nil
+	case "minimd":
+		return DefaultMiniMD(), nil
+	case "miniqmc":
+		return DefaultMiniQMC(), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown app %q", app)
+	}
 }
 
 // Path component tags keep derived stream families disjoint.
