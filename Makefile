@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint fmt
+.PHONY: all build test race bench bench-json lint fmt
 
 all: build lint test
 
@@ -20,6 +20,14 @@ race:
 # compile and run, not a measurement.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Streaming-vs-materialised study benchmark at the paper's geometry,
+# recorded as test2json events so the perf trajectory of the data plane
+# accumulates across PRs (acceptance: streaming B/op >= 5x lower).
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkStudy(Streaming|Materialized)$$' \
+		-benchmem -benchtime=3x -json . > BENCH_streaming.json
+	@grep -o 'Benchmark[A-Za-z]*[ \t].*allocs/op' BENCH_streaming.json || true
 
 lint:
 	$(GO) vet ./...

@@ -274,3 +274,38 @@ func BenchmarkStrategyFinish(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkStudyMaterialized runs the classic pipeline at the paper's
+// geometry: generate the full 768000-sample dataset, then compute the
+// Section 4.2 metrics from the materialised tensor. The B/op column is
+// the number the streaming benchmark below is measured against.
+func BenchmarkStudyMaterialized(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := earlybird.NewStudy(earlybird.Options{App: "minife"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m := s.Metrics(); m.MeanMedianSec <= 0 {
+			b.Fatal("implausible metrics")
+		}
+	}
+}
+
+// BenchmarkStudyStreaming runs the same study and the same metrics at
+// the paper's geometry through the streaming pipeline: samples feed
+// per-worker accumulators as they are produced and are never held as a
+// dataset. Compare time, B/op and allocs/op against
+// BenchmarkStudyMaterialized (make bench-json records both).
+func BenchmarkStudyStreaming(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := earlybird.StreamMetrics(earlybird.Options{App: "minife"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.MeanMedianSec <= 0 {
+			b.Fatal("implausible metrics")
+		}
+	}
+}

@@ -8,12 +8,18 @@
 // printed per dataset as it completes. The detailed single-dataset
 // outputs (-percentiles, -hist, -timeline) require exactly one input.
 //
+// With -app (and no input files) the dataset is not loaded but generated
+// and analysed as a stream: per-iteration sample blocks feed online
+// accumulators and are discarded, so geometries far beyond the paper's
+// run in bounded memory (-trials/-ranks/-iters/-threads size the study).
+//
 // Examples:
 //
 //	threadtime -app minife -o fe.json
 //	analyze -in fe.json
 //	analyze -in fe.json -percentiles fe_percentiles.csv -hist 10us
 //	analyze fe.json md.json qmc.json        # concurrent campaign
+//	analyze -app minife -iters 20000        # streaming, bounded memory
 package main
 
 import (
@@ -23,6 +29,8 @@ import (
 	"sort"
 
 	"earlybird/internal/analysis"
+	"earlybird/internal/cluster"
+	"earlybird/internal/core"
 	"earlybird/internal/engine"
 	"earlybird/internal/stats/normality"
 	"earlybird/internal/trace"
@@ -44,6 +52,13 @@ func main() {
 		percentiles = flag.String("percentiles", "", "write per-iteration percentile CSV to this file (single input)")
 		histWidth   = flag.String("hist", "", "render application histogram with this bin width (10us|50us|1ms; single input)")
 		timeline    = flag.String("timeline", "", "write per-iteration laggard-count CSV to this file (single input)")
+
+		app     = flag.String("app", "", "generate and analyse this application model as a stream instead of reading files")
+		trials  = flag.Int("trials", 0, "streaming geometry: trials (0 = paper's 10)")
+		ranks   = flag.Int("ranks", 0, "streaming geometry: ranks (0 = paper's 8)")
+		iters   = flag.Int("iters", 0, "streaming geometry: iterations (0 = paper's 200)")
+		threads = flag.Int("threads", 0, "streaming geometry: threads (0 = paper's 48)")
+		seed    = flag.Uint64("seed", 0, "streaming geometry: master seed (0 = 1)")
 	)
 	flag.Parse()
 
@@ -51,10 +66,62 @@ func main() {
 	if *in != "" {
 		files = append([]string{*in}, files...)
 	}
-	if err := run(files, *alpha, *laggardMs*1e-3, *workers, *percentiles, *histWidth, *timeline); err != nil {
+	var err error
+	if *app != "" {
+		switch {
+		case len(files) > 0:
+			err = fmt.Errorf("-app streams a generated study and cannot be combined with input files")
+		case *percentiles != "" || *histWidth != "" || *timeline != "":
+			err = fmt.Errorf("-percentiles, -hist and -timeline need a materialised dataset and cannot be combined with -app")
+		default:
+			err = runStreaming(*app, *trials, *ranks, *iters, *threads, *seed, *alpha, *laggardMs*1e-3)
+		}
+	} else {
+		err = run(files, *alpha, *laggardMs*1e-3, *workers, *percentiles, *histWidth, *timeline)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
 	}
+}
+
+// runStreaming generates the model study online and prints the streaming
+// analysis; the dataset is never materialised.
+func runStreaming(app string, trials, ranks, iters, threads int, seed uint64, alpha, laggardSec float64) error {
+	geom := cluster.DefaultConfig()
+	if trials > 0 {
+		geom.Trials = trials
+	}
+	if ranks > 0 {
+		geom.Ranks = ranks
+	}
+	if iters > 0 {
+		geom.Iterations = iters
+	}
+	if threads > 0 {
+		geom.Threads = threads
+	}
+	if seed > 0 {
+		geom.Seed = seed
+	}
+	fmt.Printf("streaming %s: %d trials x %d ranks x %d iterations x %d threads (%d samples, never materialised)\n",
+		app, geom.Trials, geom.Ranks, geom.Iterations, geom.Threads,
+		geom.Trials*geom.Ranks*geom.Iterations*geom.Threads)
+	res, err := core.StreamStudy(core.Options{
+		App:                 app,
+		Geometry:            geom,
+		Alpha:               alpha,
+		LaggardThresholdSec: laggardSec,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Metrics)
+	fmt.Println(res.Table1)
+	s := res.Summary()
+	fmt.Printf("summary: mean %.3f ms, stddev %.3f ms, p5 %.3f ms, median %.3f ms, p95 %.3f ms, max %.3f ms\n",
+		1e3*s.Mean, 1e3*s.StdDev, 1e3*s.P5, 1e3*s.Median, 1e3*s.P95, 1e3*s.Max)
+	return nil
 }
 
 func run(files []string, alpha, laggardSec float64, workers int, percentilesOut, histWidth, timelineOut string) error {

@@ -81,6 +81,21 @@ type AppMetrics = analysis.AppMetrics
 // NewStudy runs a study with the given options.
 func NewStudy(opts Options) (*Study, error) { return core.NewStudy(opts) }
 
+// StreamResult is the outcome of a streaming study: Section 4.2 metrics,
+// Table 1 row and application-level summary, computed online while the
+// samples were produced.
+type StreamResult = core.StreamResult
+
+// StreamStudy runs a study in streaming mode: per-iteration sample
+// blocks feed mergeable accumulators and are then discarded, so
+// geometries far beyond the paper's (HugeGeometry and up) run in bounded
+// memory. The exact materialised path remains available via NewStudy.
+func StreamStudy(opts Options) (*StreamResult, error) { return core.StreamStudy(opts) }
+
+// StreamMetrics is StreamStudy reduced to the Section 4.2 scalar
+// metrics — the cheapest full-study analysis path.
+func StreamMetrics(opts Options) (AppMetrics, error) { return core.StreamMetrics(opts) }
+
 // FromDataset wraps a previously collected dataset.
 func FromDataset(d *Dataset) (*Study, error) { return core.FromDataset(d) }
 
@@ -90,6 +105,11 @@ func PaperGeometry() Geometry { return cluster.DefaultConfig() }
 
 // QuickGeometry returns a reduced configuration for experimentation.
 func QuickGeometry() Geometry { return cluster.SmallConfig() }
+
+// HugeGeometry returns a configuration with 100x the paper's sample
+// count (76.8 million samples). Materialised this would be a 614 MB
+// tensor; StreamStudy analyses it in bounded memory.
+func HugeGeometry() Geometry { return cluster.HugeConfig() }
 
 // OmniPath returns the interconnect parameters representative of the
 // paper's testbed fabric.

@@ -115,3 +115,59 @@ func TestFacadeFabric(t *testing.T) {
 		t.Error("bad fabric")
 	}
 }
+
+// TestStreamingMatchesMaterializedAtPaperGeometry is the acceptance check
+// for the streaming pipeline at the paper's own 768000-sample geometry:
+// every exactly-streamable metric agrees with the materialised path to
+// float rounding, and the sketch-estimated IQR statistics agree within
+// their documented tolerance (10% relative; in practice far closer).
+func TestStreamingMatchesMaterializedAtPaperGeometry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-geometry study skipped with -short")
+	}
+	streamed, err := earlybird.StreamMetrics(earlybird.Options{App: "minife"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	study, err := earlybird.NewStudy(earlybird.Options{App: "minife"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := study.Metrics()
+
+	rel := func(a, b float64) float64 {
+		if a == b {
+			return 0
+		}
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		m := a
+		if b > m {
+			m = b
+		}
+		return d / m
+	}
+	for _, c := range []struct {
+		what      string
+		got, want float64
+	}{
+		{"MeanMedianSec", streamed.MeanMedianSec, exact.MeanMedianSec},
+		{"LaggardFraction", streamed.LaggardFraction, exact.LaggardFraction},
+		{"AvgReclaimableProcSec", streamed.AvgReclaimableProcSec, exact.AvgReclaimableProcSec},
+		{"IdleRatioProc", streamed.IdleRatioProc, exact.IdleRatioProc},
+		{"AvgReclaimableAppIterSec", streamed.AvgReclaimableAppIterSec, exact.AvgReclaimableAppIterSec},
+		{"IdleRatioAppIter", streamed.IdleRatioAppIter, exact.IdleRatioAppIter},
+	} {
+		if rel(c.got, c.want) > 1e-9 {
+			t.Errorf("%s: streaming %v vs exact %v", c.what, c.got, c.want)
+		}
+	}
+	if rel(streamed.IQRMeanSec, exact.IQRMeanSec) > 0.10 {
+		t.Errorf("IQRMeanSec: streaming %v vs exact %v (>10%%)", streamed.IQRMeanSec, exact.IQRMeanSec)
+	}
+	if rel(streamed.IQRMaxSec, exact.IQRMaxSec) > 0.15 {
+		t.Errorf("IQRMaxSec: streaming %v vs exact %v (>15%%)", streamed.IQRMaxSec, exact.IQRMaxSec)
+	}
+}

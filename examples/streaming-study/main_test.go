@@ -1,0 +1,77 @@
+package main
+
+import (
+	"runtime"
+	"testing"
+
+	"earlybird"
+)
+
+// TestHugeGeometryIs100xPaper pins the contract the example advertises.
+func TestHugeGeometryIs100xPaper(t *testing.T) {
+	huge, paper := earlybird.HugeGeometry(), earlybird.PaperGeometry()
+	hugeSamples := huge.Trials * huge.Ranks * huge.Iterations * huge.Threads
+	paperSamples := paper.Trials * paper.Ranks * paper.Iterations * paper.Threads
+	if hugeSamples < 100*paperSamples {
+		t.Fatalf("HugeGeometry has %d samples, want >= 100x the paper's %d", hugeSamples, paperSamples)
+	}
+}
+
+// TestStreamingStudyBoundedMemory runs the full 100x-paper study through
+// the streaming pipeline and asserts the heap stays far below the size of
+// the dataset it analysed: live heap growth under 1/8 of the tensor and
+// OS-visible heap growth under 1/2 — materialising the 614 MB tensor
+// would break both bounds on its own. Skipped with -short and under
+// -race (where the 76.8M-sample fill is an order of magnitude slower).
+func TestStreamingStudyBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("76.8M-sample study skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("76.8M-sample study skipped under -race")
+	}
+
+	geom := earlybird.HugeGeometry()
+	datasetBytes := uint64(geom.Trials*geom.Ranks*geom.Iterations*geom.Threads) * 8
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	res, err := earlybird.StreamStudy(earlybird.Options{App: "minife", Geometry: geom})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	if got := int64(after.HeapAlloc) - int64(before.HeapAlloc); got > int64(datasetBytes/8) {
+		t.Errorf("live heap grew %d MB, want < %d MB (dataset is %d MB)",
+			got/1e6, datasetBytes/8/1e6, datasetBytes/1e6)
+	}
+	if got := int64(after.HeapSys) - int64(before.HeapSys); got > int64(datasetBytes/2) {
+		t.Errorf("heap footprint grew %d MB, want < %d MB (dataset is %d MB)",
+			got/1e6, datasetBytes/2/1e6, datasetBytes/1e6)
+	}
+
+	// The Table-1 metrics must be present and sane at this scale:
+	// MiniFE's process iterations almost never pass normality (paper:
+	// <= 3%), its laggard fraction sits near 22.4%, and its mean median
+	// near 26.3 ms.
+	if res.Samples() != int64(geom.Trials*geom.Ranks*geom.Iterations*geom.Threads) {
+		t.Fatalf("streamed %d samples, want %d", res.Samples(), geom.Trials*geom.Ranks*geom.Iterations*geom.Threads)
+	}
+	for _, rate := range res.Table1.PassRates {
+		if rate < 0 || rate > 0.10 {
+			t.Errorf("Table 1 pass rate %.3f outside [0, 0.10]", rate)
+		}
+	}
+	if m := res.Metrics; m.MeanMedianSec < 20e-3 || m.MeanMedianSec > 35e-3 {
+		t.Errorf("mean median %.2f ms implausible for MiniFE", 1e3*m.MeanMedianSec)
+	}
+	if f := res.Metrics.LaggardFraction; f < 0.10 || f > 0.40 {
+		t.Errorf("laggard fraction %.3f implausible for MiniFE", f)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package main
+
+// raceEnabled reports whether the race detector is compiled in; the huge
+// bounded-memory test skips under -race, where the 76.8M-sample fill is
+// an order of magnitude slower and heap accounting differs.
+const raceEnabled = false

@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"sort"
+
+	"earlybird/internal/stats"
+	"earlybird/internal/stats/normality"
+	"earlybird/internal/trace"
+)
+
+// iterSketchCompression sizes the per-iteration quantile sketches of the
+// streaming metrics accumulator. The only approximate quantities in the
+// streaming AppMetrics are the application-iteration IQR statistics;
+// the accumulator keeps one sketch per iteration (times workers), so the
+// compression is deliberately small — rank error at the quartiles stays
+// ≲3%, which lands IQRMeanSec within a few percent of the exact value
+// for the study's arrival distributions (agreement-tested at 10% in
+// internal/core and internal/analysis) at a fraction of the memory.
+const iterSketchCompression = 32
+
+// iterAccum is the per-application-iteration state of a
+// MetricsAccumulator: count, sum and max reconstruct the reclaimable-time
+// and idle-ratio metrics exactly; the sketch estimates the iteration IQR.
+type iterAccum struct {
+	n      int64
+	sum    float64
+	max    float64
+	sketch *stats.QuantileSketch
+}
+
+// MetricsAccumulator computes AppMetrics in a single pass over
+// process-iteration blocks, holding O(iterations) state instead of the
+// O(samples) a materialised dataset needs. Per-process-iteration
+// quantities (mean median, laggard fraction, reclaimable time, idle
+// ratio) are exact: each block is complete when observed, so its median
+// is computed directly. Application-iteration reclaimable time and idle
+// ratio are exact too — they reduce to per-iteration count/sum/max — and
+// only the iteration IQR statistics are estimated, by a per-iteration
+// quantile sketch.
+//
+// Accumulators are mergeable: a parallel fill keeps one per worker and
+// combines them with Merge, in any order. An accumulator is not safe for
+// concurrent use.
+type MetricsAccumulator struct {
+	app       string
+	threshold float64
+
+	nProc     int
+	medianSum float64
+	reclSum   float64
+	ratioSum  float64
+	laggards  int
+	scratch   []float64
+
+	iters map[int]*iterAccum
+}
+
+// NewMetricsAccumulator returns an empty accumulator for the given
+// application name and laggard threshold (seconds).
+func NewMetricsAccumulator(app string, laggardThreshold float64) *MetricsAccumulator {
+	return &MetricsAccumulator{
+		app:       app,
+		threshold: laggardThreshold,
+		iters:     map[int]*iterAccum{},
+	}
+}
+
+// ObserveBlock implements cluster.BlockObserver: it folds one complete
+// process iteration into the accumulator. xs is not retained.
+func (a *MetricsAccumulator) ObserveBlock(trial, rank, iter int, xs []float64) {
+	n := len(xs)
+	if n == 0 {
+		return
+	}
+	sum, max := 0.0, xs[0]
+	for _, x := range xs {
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+
+	// Process-iteration level: exact, the block is complete.
+	a.scratch = append(a.scratch[:0], xs...)
+	sort.Float64s(a.scratch)
+	med := stats.PercentileSorted(a.scratch, 50)
+	recl := float64(n)*max - sum
+	a.nProc++
+	a.medianSum += med
+	a.reclSum += recl
+	if max > 0 {
+		a.ratioSum += recl / (max * float64(n))
+	}
+	if max-med > a.threshold {
+		a.laggards++
+	}
+
+	// Application-iteration level: count/sum/max are exact; the sketch
+	// covers the IQR.
+	ia := a.iters[iter]
+	if ia == nil {
+		ia = &iterAccum{sketch: stats.NewQuantileSketch(iterSketchCompression)}
+		a.iters[iter] = ia
+	}
+	ia.n += int64(n)
+	ia.sum += sum
+	if ia.n == int64(n) || max > ia.max {
+		ia.max = max
+	}
+	ia.sketch.AddSlice(xs)
+}
+
+// Merge folds another accumulator (for the same application and
+// threshold) into this one. o must not be used afterwards.
+func (a *MetricsAccumulator) Merge(o *MetricsAccumulator) {
+	if o == nil {
+		return
+	}
+	a.nProc += o.nProc
+	a.medianSum += o.medianSum
+	a.reclSum += o.reclSum
+	a.ratioSum += o.ratioSum
+	a.laggards += o.laggards
+	for iter, ob := range o.iters {
+		ia := a.iters[iter]
+		if ia == nil {
+			a.iters[iter] = ob
+			continue
+		}
+		if ob.max > ia.max {
+			ia.max = ob.max
+		}
+		ia.n += ob.n
+		ia.sum += ob.sum
+		ia.sketch.Merge(ob.sketch)
+	}
+}
+
+// Finalize computes the AppMetrics from the accumulated state.
+func (a *MetricsAccumulator) Finalize() AppMetrics {
+	m := AppMetrics{App: a.app}
+	if a.nProc > 0 {
+		m.MeanMedianSec = a.medianSum / float64(a.nProc)
+		m.LaggardFraction = float64(a.laggards) / float64(a.nProc)
+		m.AvgReclaimableProcSec = a.reclSum / float64(a.nProc)
+		m.IdleRatioProc = a.ratioSum / float64(a.nProc)
+	}
+	nIter := 0
+	reclAppSum, ratioAppSum, iqrSum := 0.0, 0.0, 0.0
+	iqrMax := 0.0
+	for _, ia := range a.iters {
+		if ia.n == 0 {
+			continue
+		}
+		nIter++
+		recl := float64(ia.n)*ia.max - ia.sum
+		reclAppSum += recl
+		if ia.max > 0 {
+			ratioAppSum += recl / (ia.max * float64(ia.n))
+		}
+		iqr := ia.sketch.Quantile(0.75) - ia.sketch.Quantile(0.25)
+		iqrSum += iqr
+		if iqr > iqrMax {
+			iqrMax = iqr
+		}
+	}
+	if nIter > 0 {
+		m.AvgReclaimableAppIterSec = reclAppSum / float64(nIter)
+		m.IdleRatioAppIter = ratioAppSum / float64(nIter)
+		m.IQRMeanSec = iqrSum / float64(nIter)
+		m.IQRMaxSec = iqrMax
+	}
+	return m
+}
+
+// ComputeMetricsStreaming derives AppMetrics from a process-iteration
+// cursor in a single bounded-memory pass — the streaming counterpart of
+// ComputeMetrics. All quantities are exact except the iteration IQR
+// statistics, which carry the quantile sketch's documented tolerance.
+func ComputeMetricsStreaming(app string, cur *trace.Cursor, laggardThreshold float64) AppMetrics {
+	acc := NewMetricsAccumulator(app, laggardThreshold)
+	for cur.Next() {
+		b := cur.Block()
+		acc.ObserveBlock(b.Trial, b.Rank, b.Iter, b.Times)
+	}
+	return acc.Finalize()
+}
+
+// Table1Accumulator computes the paper's Table 1 row — process-iteration
+// normality pass rates — in a single pass over blocks. The battery runs
+// per complete block, so streaming results are exactly the materialised
+// ones. Mergeable like MetricsAccumulator; not safe for concurrent use.
+type Table1Accumulator struct {
+	app    string
+	alpha  float64
+	total  int
+	passed [3]int
+}
+
+// NewTable1Accumulator returns an empty accumulator at significance
+// alpha.
+func NewTable1Accumulator(app string, alpha float64) *Table1Accumulator {
+	return &Table1Accumulator{app: app, alpha: alpha}
+}
+
+// ObserveBlock implements cluster.BlockObserver: it runs the three-test
+// battery on one complete process iteration.
+func (a *Table1Accumulator) ObserveBlock(trial, rank, iter int, xs []float64) {
+	res := normality.Battery(xs, a.alpha)
+	a.total++
+	for _, t := range normality.Tests {
+		if res[t].Passed() {
+			a.passed[t]++
+		}
+	}
+}
+
+// Merge folds another accumulator into this one.
+func (a *Table1Accumulator) Merge(o *Table1Accumulator) {
+	if o == nil {
+		return
+	}
+	a.total += o.total
+	for i := range a.passed {
+		a.passed[i] += o.passed[i]
+	}
+}
+
+// Finalize computes the Table 1 row.
+func (a *Table1Accumulator) Finalize() Table1 {
+	t1 := Table1{App: a.app}
+	if a.total == 0 {
+		return t1
+	}
+	for _, t := range normality.Tests {
+		t1.PassRates[t] = float64(a.passed[t]) / float64(a.total)
+	}
+	return t1
+}
+
+// Table1Streaming derives the Table 1 row from a process-iteration cursor
+// in a single pass — exact, like Table1Row, but without materialising the
+// sample slices.
+func Table1Streaming(app string, cur *trace.Cursor, alpha float64) Table1 {
+	acc := NewTable1Accumulator(app, alpha)
+	for cur.Next() {
+		b := cur.Block()
+		acc.ObserveBlock(b.Trial, b.Rank, b.Iter, b.Times)
+	}
+	return acc.Finalize()
+}

@@ -1,6 +1,8 @@
 // Package cluster runs a full study job — trials x ranks x iterations x
 // threads — over a workload model, producing the trace.Dataset that the
-// analysis pipeline consumes.
+// analysis pipeline consumes, or — via RunStream — feeding per-iteration
+// sample blocks straight to subscribed accumulators so aggregate-only
+// studies never materialise the dataset at all.
 //
 // The default geometry mirrors the paper's experimental configuration on
 // Manzano (Section 3.2): ten trials, eight processes per job, 48 threads
@@ -39,6 +41,15 @@ func SmallConfig() Config {
 	return Config{Trials: 3, Ranks: 4, Iterations: 60, Threads: 48, Seed: 1}
 }
 
+// HugeConfig returns a geometry with exactly 100x the paper's sample
+// count — 10 trials, 32 ranks, 5000 iterations, 48 threads: 76.8 million
+// samples. Materialised this is a 614 MB tensor; it exists to exercise
+// the streaming pipeline, which analyses it in bounded memory (see
+// examples/streaming-study).
+func HugeConfig() Config {
+	return Config{Trials: 10, Ranks: 32, Iterations: 5000, Threads: 48, Seed: 1}
+}
+
 // Validate checks the geometry.
 func (c Config) Validate() error {
 	if c.Trials < 1 || c.Ranks < 1 || c.Iterations < 1 || c.Threads < 1 {
@@ -61,10 +72,62 @@ func Run(model workload.Model, cfg Config) (*trace.Dataset, error) {
 // this to divide the machine between concurrently executing studies
 // instead of oversubscribing it.
 func RunWorkers(model workload.Model, cfg Config, workers int) (*trace.Dataset, error) {
+	col, err := RunColumnar(model, cfg, workers)
+	if err != nil {
+		return nil, err
+	}
+	return col.Dataset(), nil
+}
+
+// RunColumnar executes the study into a columnar sink and returns the
+// sealed store: the compact form the campaign engine caches. The dataset
+// fingerprint is accumulated stripe-by-stripe while the samples are
+// produced, so Seal pays no second pass over the data.
+func RunColumnar(model workload.Model, cfg Config, workers int) (*trace.Columnar, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	d := trace.NewDataset(model.Name(), cfg.Trials, cfg.Ranks, cfg.Iterations, cfg.Threads)
+	sink := trace.NewSink(model.Name(), cfg.Trials, cfg.Ranks, cfg.Iterations, cfg.Threads)
+	if _, err := RunStream(model, cfg, workers, sink, nil); err != nil {
+		return nil, err
+	}
+	return sink.Seal()
+}
+
+// BlockObserver consumes process-iteration sample blocks as they are
+// produced by a streaming fill. The slice passed to ObserveBlock is only
+// valid for the duration of the call and must not be mutated or retained.
+type BlockObserver interface {
+	ObserveBlock(trial, rank, iter int, times []float64)
+}
+
+// RunStream executes the study as a stream: per-iteration sample blocks
+// are handed to subscribed observers the moment they are produced, and —
+// when sink is nil — discarded immediately afterwards, so a study whose
+// caller only needs aggregates runs in O(workers x threads) live sample
+// memory regardless of geometry. A non-nil sink must match cfg's
+// geometry; its stripes are filled in place (zero copy) rank-by-rank in
+// parallel and the caller seals it afterwards.
+//
+// newObserver, when non-nil, is invoked once per fill worker; each worker
+// feeds its own observer, so observers need no internal locking, and the
+// created observers are returned for the caller to merge. The result is
+// deterministic in cfg.Seed regardless of scheduling because every
+// (trial, rank, iteration) derives its own random stream — but the
+// partition of blocks across observers is scheduling-dependent, so
+// observer state must be merge-order-independent (as the mergeable
+// accumulators in stats and analysis are).
+func RunStream(model workload.Model, cfg Config, workers int, sink *trace.Sink, newObserver func() BlockObserver) ([]BlockObserver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if sink != nil {
+		if sink.Trials() != cfg.Trials || sink.Ranks() != cfg.Ranks ||
+			sink.Iterations() != cfg.Iterations || sink.Threads() != cfg.Threads {
+			return nil, fmt.Errorf("cluster: sink geometry %dx%dx%dx%d does not match config %+v",
+				sink.Trials(), sink.Ranks(), sink.Iterations(), sink.Threads(), cfg)
+		}
+	}
 	root := rng.New(cfg.Seed)
 
 	type job struct{ trial, rank int }
@@ -76,13 +139,38 @@ func RunWorkers(model workload.Model, cfg Config, workers int) (*trace.Dataset, 
 	if workers > cfg.Trials*cfg.Ranks {
 		workers = cfg.Trials * cfg.Ranks
 	}
+	var observers []BlockObserver
 	for w := 0; w < workers; w++ {
+		var obs BlockObserver
+		if newObserver != nil {
+			obs = newObserver()
+			observers = append(observers, obs)
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var scratch []float64
+			if sink == nil {
+				scratch = make([]float64, cfg.Threads)
+			}
 			for j := range jobs {
-				for i := 0; i < cfg.Iterations; i++ {
-					model.FillProcessIteration(root, j.trial, j.rank, i, d.Times[j.trial][j.rank][i])
+				if sink != nil {
+					sw := sink.Stripe(j.trial, j.rank)
+					for i := 0; i < cfg.Iterations; i++ {
+						out := sw.AppendWith(func(out []float64) {
+							model.FillProcessIteration(root, j.trial, j.rank, i, out)
+						})
+						if obs != nil {
+							obs.ObserveBlock(j.trial, j.rank, i, out)
+						}
+					}
+				} else {
+					for i := 0; i < cfg.Iterations; i++ {
+						model.FillProcessIteration(root, j.trial, j.rank, i, scratch)
+						if obs != nil {
+							obs.ObserveBlock(j.trial, j.rank, i, scratch)
+						}
+					}
 				}
 			}
 		}()
@@ -94,7 +182,7 @@ func RunWorkers(model workload.Model, cfg Config, workers int) (*trace.Dataset, 
 	}
 	close(jobs)
 	wg.Wait()
-	return d, nil
+	return observers, nil
 }
 
 // MustRun is Run for known-good configurations; it panics on error.

@@ -1,8 +1,11 @@
 // Package engine executes campaigns: many studies fanned out over a
 // bounded worker pool, backed by a content-addressed dataset cache keyed
-// by (model name, geometry, seed). Identical study specs are deduplicated
-// to a single execution, and distinct specs over the same dataset share
-// one generation. Results are deterministic regardless of scheduling
+// by (model name, geometry, seed). Cache entries hold the compact
+// columnar form (trace.Columnar) with the content fingerprint already
+// computed during the fill; the nested Dataset view is built lazily over
+// the same storage. Identical study specs are deduplicated to a single
+// execution, and distinct specs over the same dataset share one
+// generation. Results are deterministic regardless of scheduling
 // order because dataset generation is a pure function of (model, seed)
 // and the analysis pipeline is pure over the dataset.
 //
@@ -34,11 +37,23 @@ type Key struct {
 
 // cacheEntry single-flights one dataset generation: the first goroutine
 // to reach the entry runs it, everyone else blocks on the Once and reads
-// the shared result.
+// the shared result. The cache holds the compact columnar form — one
+// flat sample column plus a small header, with the fingerprint already
+// accumulated during the fill — and builds the nested Dataset view
+// lazily, sharing the column's storage, only when a consumer asks for it.
 type cacheEntry struct {
 	once sync.Once
-	ds   *trace.Dataset
+	col  *trace.Columnar
 	err  error
+
+	dsOnce sync.Once
+	ds     *trace.Dataset
+}
+
+// dataset returns the entry's nested view, building it on first use.
+func (e *cacheEntry) dataset() *trace.Dataset {
+	e.dsOnce.Do(func() { e.ds = e.col.Dataset() })
+	return e.ds
 }
 
 // Engine is a dataset cache plus the worker-pool configuration shared by
@@ -87,6 +102,17 @@ func (e *Engine) Dataset(model workload.Model, geom cluster.Config) (*trace.Data
 	return e.dataset(model, geom, 1)
 }
 
+// Columnar is Dataset in the cache's native form: the flat columnar store
+// streaming consumers read through cursors, without ever building the
+// nested view. Callers must not mutate the returned store.
+func (e *Engine) Columnar(model workload.Model, geom cluster.Config) (*trace.Columnar, bool, error) {
+	entry, hit, err := e.entry(model, geom, 1)
+	if err != nil {
+		return nil, hit, err
+	}
+	return entry.col, hit, nil
+}
+
 // Prefetch generates the datasets of several models at one geometry
 // concurrently — dataset generation only, no analysis — dividing the
 // machine fairly between them. Already-cached datasets cost nothing.
@@ -116,6 +142,16 @@ func (e *Engine) Prefetch(models []workload.Model, geom cluster.Config) error {
 // in a batch gets its fair share of CPUs from the start instead of early
 // starters over-allocating.
 func (e *Engine) dataset(model workload.Model, geom cluster.Config, hint int) (*trace.Dataset, bool, error) {
+	entry, hit, err := e.entry(model, geom, hint)
+	if err != nil {
+		return nil, hit, err
+	}
+	return entry.dataset(), hit, nil
+}
+
+// entry resolves (model, geometry) to its single-flighted cache entry,
+// generating the columnar store on first request.
+func (e *Engine) entry(model workload.Model, geom cluster.Config, hint int) (*cacheEntry, bool, error) {
 	key := Key{Model: model.Name(), Geometry: geom}
 	e.mu.Lock()
 	entry, ok := e.cache[key]
@@ -134,9 +170,9 @@ func (e *Engine) dataset(model workload.Model, geom cluster.Config, hint int) (*
 		if hint > concurrent {
 			concurrent = hint
 		}
-		entry.ds, entry.err = cluster.RunWorkers(model, geom, e.innerWorkers(concurrent))
+		entry.col, entry.err = cluster.RunColumnar(model, geom, e.innerWorkers(concurrent))
 	})
-	return entry.ds, hit, entry.err
+	return entry, hit, entry.err
 }
 
 // innerWorkers divides the CPUs between concurrent generations so a lone

@@ -261,3 +261,46 @@ func TestCampaignPreloadedDatasetAndErrors(t *testing.T) {
 		t.Errorf("executions = %d, want 1", got)
 	}
 }
+
+// TestColumnarSharesCacheWithDataset: the columnar accessor and the
+// dataset view must come from one generation, share content, and carry
+// the fill-time fingerprint.
+func TestColumnarSharesCacheWithDataset(t *testing.T) {
+	e := New(2)
+	model := &workload.MiniFE{}
+	geom := cluster.Config{Trials: 1, Ranks: 2, Iterations: 8, Threads: 8, Seed: 1}
+
+	col, hit, err := e.Columnar(model, geom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first Columnar call reported a cache hit")
+	}
+	ds, hit, err := e.Dataset(model, geom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("Dataset after Columnar should hit the cache")
+	}
+	if e.Executions() != 1 {
+		t.Fatalf("%d executions, want 1", e.Executions())
+	}
+	if col.Fingerprint() != ds.Fingerprint() {
+		t.Fatal("columnar and dataset fingerprints differ")
+	}
+	// The view shares the column's storage: same backing array.
+	if &col.TimesColumn()[0] != &ds.Times[0][0][0][0] {
+		t.Fatal("dataset view does not share columnar storage")
+	}
+
+	// Repeated Dataset calls return the same lazily built view.
+	ds2, _, err := e.Dataset(model, geom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2 != ds {
+		t.Fatal("dataset view rebuilt on second call")
+	}
+}

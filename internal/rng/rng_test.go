@@ -208,3 +208,55 @@ func TestMixSensitivityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestChildIntoMatchesChild pins ChildInto's load-bearing contract: the
+// re-seeded stream must be draw-for-draw identical to the freshly
+// allocated Child stream — every workload model's reproducibility rides
+// on this equivalence.
+func TestChildIntoMatchesChild(t *testing.T) {
+	root := New(42)
+	scratch := New(0)
+	paths := [][]uint64{
+		{},
+		{0},
+		{1 << 20, 3, 7},
+		{2 << 20, 0, 0, 199},
+		{4 << 20, 9, 7, 5},
+	}
+	for _, path := range paths {
+		fresh := root.Child(path...)
+		reseeded := root.ChildInto(scratch, path...)
+		if reseeded != scratch {
+			t.Fatal("ChildInto did not return its destination")
+		}
+		for i := 0; i < 64; i++ {
+			if a, b := fresh.Uint64(), reseeded.Uint64(); a != b {
+				t.Fatalf("path %v draw %d: Child %x vs ChildInto %x", path, i, a, b)
+			}
+		}
+		// Interleave distribution draws too: NormFloat64/ExpFloat64 must
+		// consume the source identically.
+		fresh, reseeded = root.Child(path...), root.ChildInto(scratch, path...)
+		for i := 0; i < 16; i++ {
+			if a, b := fresh.NormFloat64(), reseeded.NormFloat64(); a != b {
+				t.Fatalf("path %v normal draw %d: %v vs %v", path, i, a, b)
+			}
+			if a, b := fresh.ExpFloat64(), reseeded.ExpFloat64(); a != b {
+				t.Fatalf("path %v exp draw %d: %v vs %v", path, i, a, b)
+			}
+		}
+		// Re-deriving the same path after use restarts the stream.
+		first := root.ChildInto(scratch, path...).Uint64()
+		again := root.ChildInto(scratch, path...).Uint64()
+		if first != again {
+			t.Fatalf("path %v: re-derivation did not restart the stream", path)
+		}
+	}
+
+	// Children of a re-seeded stream must match children of the original.
+	a := root.Child(5, 6).Child(7).Uint64()
+	b := root.ChildInto(scratch, 5, 6).Child(7).Uint64()
+	if a != b {
+		t.Fatalf("grandchild mismatch: %x vs %x", a, b)
+	}
+}

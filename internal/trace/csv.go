@@ -8,6 +8,41 @@ import (
 	"strings"
 )
 
+// WriteCSV writes the dataset in long form —
+// app,trial,rank,iteration,thread,compute_seconds — streaming rows from a
+// cursor through a buffered writer: memory stays O(1) in the dataset size
+// and no intermediate string of the whole table is ever built.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString("app,trial,rank,iteration,thread,compute_seconds\n"); err != nil {
+		return err
+	}
+	row := make([]byte, 0, 64)
+	cur := d.Cursor()
+	for cur.Next() {
+		b := cur.Block()
+		for th, v := range b.Times {
+			row = row[:0]
+			row = append(row, d.App...)
+			row = append(row, ',')
+			row = strconv.AppendInt(row, int64(b.Trial), 10)
+			row = append(row, ',')
+			row = strconv.AppendInt(row, int64(b.Rank), 10)
+			row = append(row, ',')
+			row = strconv.AppendInt(row, int64(b.Iter), 10)
+			row = append(row, ',')
+			row = strconv.AppendInt(row, int64(th), 10)
+			row = append(row, ',')
+			row = strconv.AppendFloat(row, v, 'g', -1, 64)
+			row = append(row, '\n')
+			if _, err := bw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
 // ReadCSV parses the long-form CSV written by WriteCSV back into a
 // Dataset. The geometry is inferred from the maximum indices seen; every
 // cell must be present exactly once.

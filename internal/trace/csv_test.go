@@ -124,3 +124,37 @@ func TestMergeTrialsErrors(t *testing.T) {
 		t.Error("mixed geometry accepted")
 	}
 }
+
+// TestCSVRoundTripNonTrivialGeometry exercises the streaming CSV writer at
+// a geometry large enough to cross several bufio flushes, with
+// full-precision float64 values: the shortest-representation encoding must
+// reproduce every sample bit-for-bit, so the content fingerprints agree.
+func TestCSVRoundTripNonTrivialGeometry(t *testing.T) {
+	const trials, ranks, iters, threads = 3, 5, 17, 7
+	d := NewDataset("qmc", trials, ranks, iters, threads)
+	x := uint64(0x9e3779b97f4a7c15)
+	d.EachProcessIteration(func(_, _, _ int, xs []float64) {
+		for i := range xs {
+			// splitmix-style values spanning many magnitudes.
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			xs[i] = float64(x%1_000_000_007) * 1.1e-12
+		}
+	})
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wantLines := trials*ranks*iters*threads + 1
+	if got := strings.Count(buf.String(), "\n"); got != wantLines {
+		t.Fatalf("CSV has %d lines, want %d", got, wantLines)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != d.Fingerprint() {
+		t.Fatal("CSV round trip changed the dataset fingerprint")
+	}
+}

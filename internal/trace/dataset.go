@@ -3,7 +3,6 @@ package trace
 import (
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"math"
 )
@@ -12,6 +11,12 @@ import (
 // Trials x Ranks x Iterations x Threads, in seconds. With the paper's
 // configuration (10 trials, 8 ranks, 200 iterations, 48 threads) this is
 // the 768000-sample body analysed in Section 4.
+//
+// Dataset is the nested, random-access view of the study; the samples
+// themselves live in a flat Columnar store (see columnar.go) when the
+// dataset was produced by NewDataset or a Sink, with Times indexing
+// directly into the shared column. Hand-built or JSON-decoded datasets
+// may lack the backing store; Columnar() adopts them on demand.
 type Dataset struct {
 	App        string `json:"app"`
 	Trials     int    `json:"trials"`
@@ -20,26 +25,16 @@ type Dataset struct {
 	Threads    int    `json:"threads"`
 	// Times is indexed [trial][rank][iteration][thread].
 	Times [][][][]float64 `json:"times"`
+
+	// col is the backing columnar store, when there is one. A sealed
+	// store carries the fingerprint accumulated during the fill.
+	col *Columnar
 }
 
-// NewDataset allocates a zeroed dataset with the given geometry.
+// NewDataset allocates a zeroed dataset with the given geometry, backed
+// by a fresh columnar store.
 func NewDataset(app string, trials, ranks, iterations, threads int) *Dataset {
-	if trials < 1 || ranks < 1 || iterations < 1 || threads < 1 {
-		panic("trace: dataset geometry must be positive")
-	}
-	d := &Dataset{App: app, Trials: trials, Ranks: ranks, Iterations: iterations, Threads: threads}
-	d.Times = make([][][][]float64, trials)
-	flat := make([]float64, trials*ranks*iterations*threads)
-	for t := range d.Times {
-		d.Times[t] = make([][][]float64, ranks)
-		for r := range d.Times[t] {
-			d.Times[t][r] = make([][]float64, iterations)
-			for i := range d.Times[t][r] {
-				d.Times[t][r][i], flat = flat[:threads:threads], flat[threads:]
-			}
-		}
-	}
-	return d
+	return newColumnar(app, trials, ranks, iterations, threads).Dataset()
 }
 
 // NumSamples returns the total number of thread-arrival samples.
@@ -59,8 +54,13 @@ func (d *Dataset) SetFromRecorder(trial, rank int, rec *Recorder) {
 
 // AllSamples returns every compute time in the dataset — the paper's
 // "application level aggregation" (768000 samples at the default
-// geometry).
+// geometry). The result is a fresh slice the caller may sort or mutate.
 func (d *Dataset) AllSamples() []float64 {
+	if d.col != nil {
+		out := make([]float64, len(d.col.times))
+		copy(out, d.col.times)
+		return out
+	}
 	out := make([]float64, 0, d.NumSamples())
 	for _, trial := range d.Times {
 		for _, rank := range trial {
@@ -110,55 +110,66 @@ func (d *Dataset) NumProcessIterations() int {
 	return d.Trials * d.Ranks * d.Iterations
 }
 
-// Fingerprint returns a 64-bit FNV-1a hash over the dataset's app name,
-// geometry and the IEEE-754 bits of every sample, in deterministic order.
-// Two datasets with equal fingerprints are byte-identical for analysis
-// purposes; the campaign engine uses this to verify cache correctness.
+// Fingerprint returns a 64-bit FNV-1a content hash over the dataset's app
+// name, geometry and the IEEE-754 bits of every sample: each (trial,
+// rank) stripe is hashed in (iteration, thread) order and the stripe
+// hashes are combined in trial-major order. Two datasets with equal
+// fingerprints are byte-identical for analysis purposes; the campaign
+// engine uses this to verify cache correctness. For sink-filled datasets
+// the value was accumulated incrementally during the fill and this call
+// is a cached load.
 func (d *Dataset) Fingerprint() uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(d.App))
-	var buf [8]byte
-	writeU64 := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(v >> (8 * i))
-		}
-		h.Write(buf[:])
+	if d.col != nil && d.col.hasFP {
+		return d.col.fp
 	}
-	writeU64(uint64(d.Trials))
-	writeU64(uint64(d.Ranks))
-	writeU64(uint64(d.Iterations))
-	writeU64(uint64(d.Threads))
+	stripes := make([]uint64, 0, d.Trials*d.Ranks)
+	for _, trial := range d.Times {
+		for _, rank := range trial {
+			h := uint64(fnvOffset64)
+			for _, iter := range rank {
+				for _, x := range iter {
+					h = fnvU64(h, math.Float64bits(x))
+				}
+			}
+			stripes = append(stripes, h)
+		}
+	}
+	return combineFingerprint(d.App, d.Trials, d.Ranks, d.Iterations, d.Threads, stripes)
+}
+
+// Columnar returns the dataset's backing columnar store, adopting (and
+// copying) the nested Times tensor when the dataset was hand-built or
+// JSON-decoded. The store shares storage with Times whenever possible, so
+// callers must not mutate the dataset afterwards.
+func (d *Dataset) Columnar() *Columnar {
+	if d.col != nil {
+		return d.col
+	}
+	c := newColumnar(d.App, d.Trials, d.Ranks, d.Iterations, d.Threads)
+	flat := c.times
 	for _, trial := range d.Times {
 		for _, rank := range trial {
 			for _, iter := range rank {
-				for _, x := range iter {
-					writeU64(math.Float64bits(x))
-				}
+				copy(flat, iter)
+				flat = flat[len(iter):]
 			}
 		}
 	}
-	return h.Sum64()
+	d.col = c
+	return c
 }
 
-// WriteCSV writes the dataset in long form:
-// app,trial,rank,iteration,thread,compute_seconds.
-func (d *Dataset) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "app,trial,rank,iteration,thread,compute_seconds"); err != nil {
-		return err
-	}
-	for t := 0; t < d.Trials; t++ {
-		for r := 0; r < d.Ranks; r++ {
-			for i := 0; i < d.Iterations; i++ {
-				for th := 0; th < d.Threads; th++ {
-					if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%g\n",
-						d.App, t, r, i, th, d.Times[t][r][i][th]); err != nil {
-						return err
-					}
-				}
-			}
-		}
-	}
-	return nil
+// Cursor returns a block-at-a-time cursor over every process iteration in
+// deterministic (trial, rank, iteration) order. Blocks are zero-copy
+// views into the dataset.
+func (d *Dataset) Cursor() *Cursor { return d.CursorRange(0, d.Iterations) }
+
+// CursorRange returns a cursor restricted to iterations in [fromIter,
+// toIter).
+func (d *Dataset) CursorRange(fromIter, toIter int) *Cursor {
+	return newCursor(d.Trials, d.Ranks, d.Iterations, fromIter, toIter, func(t, r, i int) []float64 {
+		return d.Times[t][r][i]
+	})
 }
 
 // WriteJSON writes the dataset as JSON.

@@ -20,7 +20,8 @@ func (m *NormalModel) Name() string { return m.AppName }
 
 // FillProcessIteration implements Model.
 func (m *NormalModel) FillProcessIteration(root *rng.Source, trial, rank, iter int, out []float64) {
-	s := iterStream(root, trial, rank, iter)
+	s := iterStream(borrowStream(), root, trial, rank, iter)
+	defer releaseStream(s)
 	for i := range out {
 		out[i] = s.Normal(m.MedianSec, m.SigmaSec)
 	}
@@ -39,7 +40,8 @@ func (m *UniformModel) Name() string { return m.AppName }
 
 // FillProcessIteration implements Model.
 func (m *UniformModel) FillProcessIteration(root *rng.Source, trial, rank, iter int, out []float64) {
-	s := iterStream(root, trial, rank, iter)
+	s := iterStream(borrowStream(), root, trial, rank, iter)
+	defer releaseStream(s)
 	for i := range out {
 		out[i] = s.Uniform(m.MedianSec-m.HalfWidthSec, m.MedianSec+m.HalfWidthSec)
 	}
@@ -60,7 +62,8 @@ func (m *SingleLaggardModel) Name() string { return m.AppName }
 
 // FillProcessIteration implements Model.
 func (m *SingleLaggardModel) FillProcessIteration(root *rng.Source, trial, rank, iter int, out []float64) {
-	s := iterStream(root, trial, rank, iter)
+	s := iterStream(borrowStream(), root, trial, rank, iter)
+	defer releaseStream(s)
 	for i := range out {
 		out[i] = s.Normal(m.MedianSec, m.JitterSec)
 	}
@@ -76,7 +79,11 @@ type Func struct {
 // Name implements Model.
 func (m *Func) Name() string { return m.AppName }
 
-// FillProcessIteration implements Model.
+// FillProcessIteration implements Model. The stream handed to Fill is a
+// pooled scratch source, valid only for the duration of the call; Fill
+// must not retain it.
 func (m *Func) FillProcessIteration(root *rng.Source, trial, rank, iter int, out []float64) {
-	m.Fill(iterStream(root, trial, rank, iter), trial, rank, iter, out)
+	s := iterStream(borrowStream(), root, trial, rank, iter)
+	defer releaseStream(s)
+	m.Fill(s, trial, rank, iter, out)
 }

@@ -66,12 +66,15 @@ func (m *MiniFE) Name() string { return "minife" }
 
 // FillProcessIteration implements Model.
 func (m *MiniFE) FillProcessIteration(root *rng.Source, trial, rank, iter int, out []float64) {
-	rate := rankStream(root, trial, rank).LogNormal(0, m.RankRateSigma)
+	// One scratch stream serves all three derivations: each is fully
+	// drawn before the next re-seed.
+	s := borrowStream()
+	defer releaseStream(s)
+	rate := rankStream(s, root, trial, rank).LogNormal(0, m.RankRateSigma)
 
-	ps := perturbStream(root, iter)
-	disturbed := ps.Bernoulli(m.DisturbProb)
+	disturbed := perturbStream(s, root, iter).Bernoulli(m.DisturbProb)
 
-	s := iterStream(root, trial, rank, iter)
+	iterStream(s, root, trial, rank, iter)
 	median := m.MedianSec*rate + s.Normal(0, m.IterJitterSec)
 	if disturbed {
 		// A globally disturbed iteration spreads the per-process medians,

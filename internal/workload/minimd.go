@@ -77,21 +77,25 @@ func (m *MiniMD) Name() string { return "minimd" }
 
 // FillProcessIteration implements Model.
 func (m *MiniMD) FillProcessIteration(root *rng.Source, trial, rank, iter int, out []float64) {
-	rate := rankStream(root, trial, rank).LogNormal(0, m.RankRateSigma)
-	s := iterStream(root, trial, rank, iter)
+	// tmp serves the transient rank/perturb derivations; s stays the
+	// iteration stream throughout.
+	s, tmp := borrowStream(), borrowStream()
+	defer releaseStream(s)
+	defer releaseStream(tmp)
+	rate := rankStream(tmp, root, trial, rank).LogNormal(0, m.RankRateSigma)
+	iterStream(s, root, trial, rank, iter)
 
 	if iter < m.PhaseOneIters {
 		// Initial phase: wide, flat-ish arrivals with no laggards.
 		median := m.PhaseOneMedianSec*rate + s.Normal(0, m.IterJitterSec)
-		spread := m.PhaseOneSpreadSec * perturbStream(root, iter).LogNormal(0, m.PhaseOneLogJitter)
+		spread := m.PhaseOneSpreadSec * perturbStream(tmp, root, iter).LogNormal(0, m.PhaseOneLogJitter)
 		for i := range out {
 			out[i] = median + s.Uniform(-spread, spread)
 		}
 		return
 	}
 
-	ps := perturbStream(root, iter)
-	disturbed := ps.Bernoulli(m.DisturbProb)
+	disturbed := perturbStream(tmp, root, iter).Bernoulli(m.DisturbProb)
 
 	median := m.MedianSec*rate + s.Normal(0, m.IterJitterSec)
 	if disturbed {

@@ -79,8 +79,13 @@ func (m *MiniQMC) Name() string { return "miniqmc" }
 
 // FillProcessIteration implements Model.
 func (m *MiniQMC) FillProcessIteration(root *rng.Source, trial, rank, iter int, out []float64) {
-	rate := rankStream(root, trial, rank).LogNormal(0, m.RankRateSigma)
-	s := iterStream(root, trial, rank, iter)
+	// tmp serves the transient rank/perturb derivations; s stays the
+	// iteration stream throughout.
+	s, tmp := borrowStream(), borrowStream()
+	defer releaseStream(s)
+	defer releaseStream(tmp)
+	rate := rankStream(tmp, root, trial, rank).LogNormal(0, m.RankRateSigma)
+	iterStream(s, root, trial, rank, iter)
 	offsetMean := m.RankOffsetXm * m.RankOffsetAlpha / (m.RankOffsetAlpha - 1)
 	center := m.MedianSec*rate + s.Normal(0, m.IterJitterSec) +
 		s.Pareto(m.RankOffsetXm, m.RankOffsetAlpha) - offsetMean
@@ -88,7 +93,7 @@ func (m *MiniQMC) FillProcessIteration(root *rng.Source, trial, rank, iter int, 
 		center += m.SlowDeltaSec
 	}
 	sigma := m.SigmaSec * s.LogNormal(0, m.SigmaLogJitter) *
-		perturbStream(root, iter).LogNormal(0, m.IterSigmaLogJitter)
+		perturbStream(tmp, root, iter).LogNormal(0, m.IterSigmaLogJitter)
 	tail := m.ThreadTailSec
 	for i := range out {
 		out[i] = center + s.Normal(0, sigma) + s.Exp(tail) - tail

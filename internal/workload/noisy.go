@@ -41,7 +41,8 @@ func (n *Noisy) FillProcessIteration(root *rng.Source, trial, rank, iter int, ou
 	if n.Noise == nil {
 		return
 	}
-	s := root.Child(pathNoise, uint64(trial), uint64(rank), uint64(iter))
+	s := root.ChildInto(borrowStream(), pathNoise, uint64(trial), uint64(rank), uint64(iter))
+	defer releaseStream(s)
 	for i, sec := range out {
 		d := n.Noise.Perturb(s, time.Duration(sec*float64(time.Second)))
 		out[i] = d.Seconds()

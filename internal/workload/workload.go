@@ -14,6 +14,7 @@ package workload
 
 import (
 	"fmt"
+	"sync"
 
 	"earlybird/internal/rng"
 )
@@ -54,20 +55,31 @@ const (
 	pathPerturb  uint64 = 3 << 20 // study-level iteration perturbations
 )
 
-// rankStream returns the deterministic stream for per-(trial, rank) draws.
-func rankStream(root *rng.Source, trial, rank int) *rng.Source {
-	return root.Child(pathRankRate, uint64(trial), uint64(rank))
+// streamPool recycles scratch streams for the fill hot path: a large
+// study derives millions of per-iteration child streams, and re-seeding a
+// pooled generator in place (rng.ChildInto) replaces three heap
+// allocations per derivation with none. Borrowed streams are only valid
+// until released; models must not let them escape FillProcessIteration.
+var streamPool = sync.Pool{New: func() any { return rng.New(0) }}
+
+func borrowStream() *rng.Source   { return streamPool.Get().(*rng.Source) }
+func releaseStream(s *rng.Source) { streamPool.Put(s) }
+
+// rankStream re-seeds dst to the deterministic stream for per-(trial,
+// rank) draws.
+func rankStream(dst, root *rng.Source, trial, rank int) *rng.Source {
+	return root.ChildInto(dst, pathRankRate, uint64(trial), uint64(rank))
 }
 
-// iterStream returns the deterministic stream for per-(trial, rank, iter)
-// draws.
-func iterStream(root *rng.Source, trial, rank, iter int) *rng.Source {
-	return root.Child(pathIterDist, uint64(trial), uint64(rank), uint64(iter))
+// iterStream re-seeds dst to the deterministic stream for per-(trial,
+// rank, iter) draws.
+func iterStream(dst, root *rng.Source, trial, rank, iter int) *rng.Source {
+	return root.ChildInto(dst, pathIterDist, uint64(trial), uint64(rank), uint64(iter))
 }
 
-// perturbStream returns the deterministic stream for application-iteration
-// level events shared by all ranks and trials (e.g. a globally disturbed
-// iteration).
-func perturbStream(root *rng.Source, iter int) *rng.Source {
-	return root.Child(pathPerturb, uint64(iter))
+// perturbStream re-seeds dst to the deterministic stream for
+// application-iteration level events shared by all ranks and trials
+// (e.g. a globally disturbed iteration).
+func perturbStream(dst, root *rng.Source, iter int) *rng.Source {
+	return root.ChildInto(dst, pathPerturb, uint64(iter))
 }
