@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json lint fmt
+.PHONY: all build test race bench bench-json lint fmt docs-check
 
-all: build lint test
+all: build lint docs-check test
 
 build:
 	$(GO) build ./...
@@ -38,3 +38,7 @@ lint:
 
 fmt:
 	gofmt -w .
+
+# Fail if any *.md referenced from README or Go sources is missing.
+docs-check:
+	sh scripts/check-doc-links.sh

@@ -11,16 +11,27 @@
 //
 //	earlybird -app miniqmc
 //	earlybird -in fe.json -part-bytes 262144 -bin-timeout-ms 0.5
+//	earlybird -app minife -remote http://localhost:8080   # ask a running earlybirdd
+//
+// With -remote the assessment is requested from a running earlybirdd
+// study service (POST /v1/feasibility) instead of computed in-process,
+// so repeated invocations across machines share the service's coalesced
+// executions and caches.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 
 	"earlybird/internal/cluster"
 	"earlybird/internal/core"
 	"earlybird/internal/network"
+	"earlybird/internal/serve"
 	"earlybird/internal/trace"
 )
 
@@ -34,13 +45,58 @@ func main() {
 		iters     = flag.Int("iters", 60, "iterations when running a built-in app")
 		latencyUs = flag.Float64("latency-us", 1.0, "fabric latency (us)")
 		bwGBs     = flag.Float64("bandwidth-gbs", 12.5, "fabric bandwidth (GB/s)")
+		remote    = flag.String("remote", "", "base URL of a running earlybirdd (assess via the service instead of in-process)")
 	)
 	flag.Parse()
 
-	if err := run(*app, *in, *partBytes, *timeoutMs*1e-3, *trials, *iters, *latencyUs*1e-6, *bwGBs*1e9); err != nil {
+	var err error
+	if *remote != "" {
+		switch {
+		case *in != "":
+			err = fmt.Errorf("-remote cannot assess a local dataset (-in); datasets do not travel over the wire")
+		case *app == "":
+			err = fmt.Errorf("-remote requires -app")
+		default:
+			err = runRemote(*remote, *app, *partBytes, *timeoutMs*1e-3, *trials, *iters, *latencyUs*1e-6, *bwGBs*1e9)
+		}
+	} else {
+		err = run(*app, *in, *partBytes, *timeoutMs*1e-3, *trials, *iters, *latencyUs*1e-6, *bwGBs*1e9)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "earlybird:", err)
 		os.Exit(1)
 	}
+}
+
+// runRemote asks a running study service for the assessment.
+func runRemote(base, app string, partBytes int, timeoutSec float64, trials, iters int, latencySec, bwBps float64) error {
+	spec := serve.StudySpec{
+		App:               app,
+		Geometry:          &cluster.Config{Trials: trials, Ranks: 8, Iterations: iters, Threads: 48, Seed: 1},
+		BytesPerPartition: partBytes,
+		BinTimeoutSec:     timeoutSec,
+		Fabric:            &network.Fabric{LatencySec: latencySec, BandwidthBytesPerSec: bwBps, OverheadSec: 0.3e-6},
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/feasibility", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("service returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var fr serve.FeasibilityResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		return err
+	}
+	fmt.Printf("served by %s (%s)\n", base, fr.Source)
+	fmt.Print(fr.Assessment)
+	return nil
 }
 
 func run(app, in string, partBytes int, timeoutSec float64, trials, iters int, latencySec, bwBps float64) error {

@@ -1,0 +1,81 @@
+// Command earlybirdd is the study service daemon: the HTTP front end
+// over the campaign engine, serving single studies, batched campaigns,
+// feasibility assessments and NDJSON scenario sweeps with request
+// coalescing and layered result/dataset caching.
+//
+//	earlybirdd -addr :8080
+//	curl -s localhost:8080/v1/study -d '{"app":"minife","geometry_name":"quick"}'
+//	curl -s localhost:8080/v1/sweep -d '{"apps":["minife","miniqmc"],"alphas":[0.05,0.01]}'
+//	curl -s localhost:8080/v1/stats
+//
+// The process drains gracefully on SIGINT/SIGTERM: the listener closes
+// immediately, in-flight requests get -drain-timeout to finish.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"earlybird/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "max concurrently executing studies (0 = one per CPU)")
+		maxResults   = flag.Int("max-results", serve.DefaultMaxResults, "LRU result cache capacity (negative disables)")
+		maxDatasets  = flag.Int("max-datasets", serve.DefaultMaxDatasets, "dataset cache bound (negative = unbounded)")
+		maxSweep     = flag.Int("max-sweep-cached-samples", serve.DefaultMaxCachedSweepSamples, "largest geometry (samples) sweeps keep in the dataset cache; larger cells stream uncached")
+		maxStudy     = flag.Int("max-study-samples", serve.DefaultMaxStudySamples, "largest geometry (samples) the materialising study endpoints accept")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain window")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *workers, *maxResults, *maxDatasets, *maxSweep, *maxStudy, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "earlybirdd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, maxResults, maxDatasets, maxSweep, maxStudy int, drainTimeout time.Duration) error {
+	srv := serve.New(serve.Options{
+		Workers:               workers,
+		MaxResults:            maxResults,
+		MaxDatasets:           maxDatasets,
+		MaxCachedSweepSamples: maxSweep,
+		MaxStudySamples:       maxStudy,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(addr) }()
+	log.Printf("earlybirdd: serving on %s (%d workers, %d result slots, %d dataset slots)",
+		addr, srv.Engine().Workers(), maxResults, maxDatasets)
+
+	select {
+	case err := <-errc:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+
+	log.Printf("earlybirdd: draining (up to %s)", drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	log.Print("earlybirdd: stopped")
+	return nil
+}

@@ -31,17 +31,27 @@
 // To share the dataset cache across several campaigns, create one engine
 // with NewEngine and call its Run method directly.
 //
+// The same engine can front HTTP traffic: NewServer (or the blocking
+// Serve) exposes /v1/study, /v1/campaign, /v1/feasibility and the
+// NDJSON-streaming /v1/sweep with singleflight request coalescing and a
+// bounded LRU result cache layered over the dataset cache — see
+// internal/serve and the cmd/earlybirdd daemon.
+//
 // The heavy lifting lives in the internal packages (omp, trace, workload,
 // cluster, engine, stats/normality, partcomm, analysis, experiments);
 // this package is the stable facade.
 package earlybird
 
 import (
+	"context"
+	"net/http"
+
 	"earlybird/internal/analysis"
 	"earlybird/internal/cluster"
 	"earlybird/internal/core"
 	"earlybird/internal/engine"
 	"earlybird/internal/network"
+	"earlybird/internal/serve"
 	"earlybird/internal/trace"
 )
 
@@ -140,4 +150,43 @@ func NewEngine(workers int) *Engine { return engine.New(workers) }
 // error.
 func RunCampaign(c Campaign) ([]CampaignResult, error) {
 	return engine.New(c.Workers).Run(c)
+}
+
+// Server is the HTTP study service: JSON endpoints for single studies,
+// batched campaigns, feasibility assessments and NDJSON scenario sweeps
+// over one campaign engine, with singleflight request coalescing and a
+// bounded LRU result cache in front of the engine's dataset cache.
+type Server = serve.Server
+
+// ServeOptions configures NewServer and Serve. The zero value serves
+// with one worker per CPU and the default cache bounds.
+type ServeOptions = serve.Options
+
+// NewServer returns a ready-to-serve study service. Use its Handler to
+// embed the API in an existing mux, or ListenAndServe/Shutdown to run it
+// standalone; cmd/earlybirdd is the packaged daemon.
+func NewServer(opts ServeOptions) *Server { return serve.New(opts) }
+
+// Serve runs the study service on addr until ctx is cancelled, then
+// drains in-flight requests gracefully (without a deadline — wrap
+// Shutdown yourself via NewServer for a bounded drain, as cmd/earlybirdd
+// does). It returns nil after a clean drain, or the listener error.
+func Serve(ctx context.Context, addr string, opts ServeOptions) error {
+	srv := serve.New(opts)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(addr) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		return err
+	}
+	// A clean drain surfaces as ErrServerClosed; anything else is a
+	// listener failure that raced the cancellation.
+	if err := <-errc; err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
 }

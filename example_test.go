@@ -1,0 +1,77 @@
+package earlybird_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+
+	"earlybird"
+)
+
+// ExampleRunCampaign fans three study specs — one a deliberate duplicate
+// — over the campaign engine. The duplicate is deduplicated to a single
+// execution and served from the dataset cache; results come back in spec
+// order, deterministically in the geometry's seed.
+func ExampleRunCampaign() {
+	quick := earlybird.QuickGeometry()
+	results, err := earlybird.RunCampaign(earlybird.Campaign{
+		Specs: []earlybird.CampaignSpec{
+			{App: "minife", Geometry: quick},
+			{App: "miniqmc", Geometry: quick},
+			{App: "minife", Geometry: quick}, // duplicate: cache-served
+		},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, r := range results {
+		fmt.Printf("%s cache=%v -> %s\n", r.Spec.App, r.CacheHit, r.Assessment.Recommendation)
+	}
+	// Output:
+	// minife cache=false -> timeout-flush
+	// miniqmc cache=false -> fine-grained-or-binned
+	// minife cache=true -> timeout-flush
+}
+
+// ExampleServe runs the study service on a loopback port, asks it for a
+// feasibility assessment over HTTP, and shuts it down gracefully —
+// the embedded equivalent of running cmd/earlybirdd and curling it.
+func ExampleServe() {
+	srv := earlybird.NewServer(earlybird.ServeOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	quick := earlybird.QuickGeometry()
+	body, _ := json.Marshal(map[string]any{"app": "miniqmc", "geometry": quick})
+	resp, err := http.Post("http://"+ln.Addr().String()+"/v1/feasibility",
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	var verdict struct {
+		App        string `json:"app"`
+		Assessment struct {
+			Recommendation string `json:"recommendation"`
+		} `json:"assessment"`
+		Source string `json:"source"`
+	}
+	json.NewDecoder(resp.Body).Decode(&verdict)
+	resp.Body.Close()
+	fmt.Printf("%s -> %s (%s)\n", verdict.App, verdict.Assessment.Recommendation, verdict.Source)
+
+	srv.Shutdown(context.Background())
+	fmt.Println("drained:", <-done == http.ErrServerClosed)
+	// Output:
+	// miniqmc -> fine-grained-or-binned (executed)
+	// drained: true
+}

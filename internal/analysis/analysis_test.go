@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -279,5 +280,26 @@ func TestNormalitySummaryEmptyTotal(t *testing.T) {
 	s := &NormalitySummary{}
 	if s.PassRate(normality.DAgostino) != 0 {
 		t.Fatal("empty summary pass rate should be 0")
+	}
+}
+
+func TestTable1JSONRoundTrip(t *testing.T) {
+	orig := Table1{App: "minife", PassRates: [3]float64{0.046, 0.002, 0.009}}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wire format keys rates by test slug, not position.
+	for _, want := range []string{`"app":"minife"`, `"dagostino":0.046`, `"shapiro_wilk":0.002`, `"anderson_darling":0.009`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("marshalled %s missing %s", data, want)
+		}
+	}
+	var back Table1
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != orig {
+		t.Errorf("round trip: got %+v, want %+v", back, orig)
 	}
 }

@@ -36,27 +36,37 @@ func IdleRatio(xs []float64) float64 {
 // mutually inconsistent under a single aggregation level (see DESIGN.md),
 // so both metrics are computed at both levels.
 type AppMetrics struct {
-	App string
+	App string `json:"app"`
 	// MeanMedianSec is the mean over process iterations of the median
 	// thread arrival time (paper: 26.30 / 24.74 / 60.91 ms).
-	MeanMedianSec float64
+	MeanMedianSec float64 `json:"mean_median_sec"`
 	// LaggardFraction is the fraction of process iterations whose latest
 	// thread is more than 1 ms past the median (paper: 22.4% MiniFE,
 	// 4.8% MiniMD phase two).
-	LaggardFraction float64
+	LaggardFraction float64 `json:"laggard_fraction"`
 	// AvgReclaimableProcSec is the mean over process iterations of
 	// ReclaimableTime (paper: 42.82 / 17.61 / 708.03 ms).
-	AvgReclaimableProcSec float64
+	AvgReclaimableProcSec float64 `json:"avg_reclaimable_proc_sec"`
 	// IdleRatioProc is the mean over process iterations of IdleRatio.
-	IdleRatioProc float64
+	IdleRatioProc float64 `json:"idle_ratio_proc"`
 	// AvgReclaimableAppIterSec and IdleRatioAppIter are the same metrics
 	// computed over application-iteration aggregations (3840 samples).
-	AvgReclaimableAppIterSec float64
-	IdleRatioAppIter         float64
+	AvgReclaimableAppIterSec float64 `json:"avg_reclaimable_app_iter_sec"`
+	IdleRatioAppIter         float64 `json:"idle_ratio_app_iter"`
 	// IQRMeanSec and IQRMaxSec summarise the application-iteration IQR
 	// across iterations (the quantities read off Figures 4, 6 and 8).
-	IQRMeanSec float64
-	IQRMaxSec  float64
+	IQRMeanSec float64 `json:"iqr_mean_sec"`
+	IQRMaxSec  float64 `json:"iqr_max_sec"`
+}
+
+// IQRToMedian returns the width discriminant of the Section 5
+// classification: the mean iteration IQR over the mean median arrival,
+// or zero when the median is not positive.
+func (m AppMetrics) IQRToMedian() float64 {
+	if m.MeanMedianSec <= 0 {
+		return 0
+	}
+	return m.IQRMeanSec / m.MeanMedianSec
 }
 
 // ComputeMetrics derives AppMetrics for the whole dataset.

@@ -7,6 +7,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -106,6 +107,37 @@ func Table1Row(d *trace.Dataset, alpha float64) Table1 {
 		t1.PassRates[t] = s.PassRate(t)
 	}
 	return t1
+}
+
+// MarshalJSON renders the row with pass rates keyed by test slug rather
+// than positionally, so service clients need not know the battery's
+// index order: {"app":"minife","pass_rates":{"dagostino":0.031,...}}.
+func (t Table1) MarshalJSON() ([]byte, error) {
+	rates := make(map[string]float64, len(normality.Tests))
+	for _, test := range normality.Tests {
+		rates[test.Slug()] = t.PassRates[test]
+	}
+	return json.Marshal(struct {
+		App       string             `json:"app"`
+		PassRates map[string]float64 `json:"pass_rates"`
+	}{App: t.App, PassRates: rates})
+}
+
+// UnmarshalJSON is MarshalJSON's inverse, so service clients can decode
+// responses back into Table1. Unknown slugs are ignored.
+func (t *Table1) UnmarshalJSON(data []byte) error {
+	var wire struct {
+		App       string             `json:"app"`
+		PassRates map[string]float64 `json:"pass_rates"`
+	}
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return err
+	}
+	t.App = wire.App
+	for _, test := range normality.Tests {
+		t.PassRates[test] = wire.PassRates[test.Slug()]
+	}
+	return nil
 }
 
 // String renders the row as in the paper (percentages).

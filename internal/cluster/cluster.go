@@ -20,14 +20,19 @@ import (
 	"earlybird/internal/workload"
 )
 
-// Config is a study geometry plus master seed.
+// Config is a study geometry plus master seed. The JSON form is the wire
+// geometry of the serve layer's study service.
 type Config struct {
-	Trials     int
-	Ranks      int
-	Iterations int
-	Threads    int
-	Seed       uint64
+	Trials     int    `json:"trials"`
+	Ranks      int    `json:"ranks"`
+	Iterations int    `json:"iterations"`
+	Threads    int    `json:"threads"`
+	Seed       uint64 `json:"seed"`
 }
+
+// Samples returns the total sample count of the geometry:
+// trials x ranks x iterations x threads.
+func (c Config) Samples() int { return c.Trials * c.Ranks * c.Iterations * c.Threads }
 
 // DefaultConfig returns the paper's geometry (10 x 8 x 200 x 48).
 func DefaultConfig() Config {

@@ -206,19 +206,30 @@ func Classify(iqrToMedian, laggardFraction float64) Recommendation {
 	}
 }
 
+// ClassifyMetrics applies the Section 5 cutoffs directly to a metrics
+// row: the streaming counterpart of Feasibility's classification for
+// paths that never materialise a dataset (the serve layer's sweep
+// endpoint). It uses the base laggard fraction, without Feasibility's
+// widened effective threshold, so verdicts near the laggard cutoff can
+// differ from the full assessment for intrinsically wide-phase
+// applications.
+func ClassifyMetrics(m analysis.AppMetrics) Recommendation {
+	return Classify(m.IQRToMedian(), m.LaggardFraction)
+}
+
 // Assessment is the early-bird feasibility verdict for one application.
 type Assessment struct {
-	App string
+	App string `json:"app"`
 	// PotentialOverlapSec is the mean per-thread idle time available for
 	// overlap (reclaimable time / threads), the upper bound of Figure 2.
-	PotentialOverlapSec float64
+	PotentialOverlapSec float64 `json:"potential_overlap_sec"`
 	// Results holds the delivery-strategy evaluation (bulk baseline,
 	// fine-grained, binned).
-	Results []partcomm.Result
+	Results []partcomm.Result `json:"results"`
 	// LaggardFraction and IQRToMedian feed the recommendation.
-	LaggardFraction float64
-	IQRToMedian     float64
-	Recommendation  Recommendation
+	LaggardFraction float64        `json:"laggard_fraction"`
+	IQRToMedian     float64        `json:"iqr_to_median"`
+	Recommendation  Recommendation `json:"recommendation"`
 }
 
 // Feasibility evaluates delivery strategies over the study's arrival
@@ -240,9 +251,7 @@ func (s *Study) Feasibility(bytesPerPart int, fabric network.Fabric, binTimeoutS
 		PotentialOverlapSec: m.AvgReclaimableProcSec / float64(s.ds.Threads),
 		LaggardFraction:     analysis.Laggards(s.ds, effThreshold).Fraction,
 	}
-	if m.MeanMedianSec > 0 {
-		a.IQRToMedian = m.IQRMeanSec / m.MeanMedianSec
-	}
+	a.IQRToMedian = m.IQRToMedian()
 	a.Results = partcomm.Evaluate(s.ds, bytesPerPart, fabric, []partcomm.Strategy{
 		partcomm.Bulk{},
 		partcomm.FineGrained{},

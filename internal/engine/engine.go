@@ -1,18 +1,3 @@
-// Package engine executes campaigns: many studies fanned out over a
-// bounded worker pool, backed by a content-addressed dataset cache keyed
-// by (model name, geometry, seed). Cache entries hold the compact
-// columnar form (trace.Columnar) with the content fingerprint already
-// computed during the fill; the nested Dataset view is built lazily over
-// the same storage. Identical study specs are deduplicated to a single
-// execution, and distinct specs over the same dataset share one
-// generation. Results are deterministic regardless of scheduling
-// order because dataset generation is a pure function of (model, seed)
-// and the analysis pipeline is pure over the dataset.
-//
-// This is the batch substrate behind internal/experiments, cmd/repro,
-// cmd/analyze and the earlybird.RunCampaign facade — the outer level of
-// parallelism over whole studies, above cluster.Run's inner level over
-// one study's trials and ranks.
 package engine
 
 import (
@@ -45,15 +30,17 @@ type cacheEntry struct {
 	once sync.Once
 	col  *trace.Columnar
 	err  error
+	// done flips once the generation has finished; only done entries are
+	// eviction candidates (an in-flight entry is about to be read by the
+	// goroutines blocked on its Once).
+	done atomic.Bool
+	// lastUse is the engine's access sequence number at the entry's most
+	// recent lookup; the eviction policy removes the smallest. Guarded by
+	// the engine mutex.
+	lastUse int64
 
 	dsOnce sync.Once
 	ds     *trace.Dataset
-}
-
-// dataset returns the entry's nested view, building it on first use.
-func (e *cacheEntry) dataset() *trace.Dataset {
-	e.dsOnce.Do(func() { e.ds = e.col.Dataset() })
-	return e.ds
 }
 
 // Engine is a dataset cache plus the worker-pool configuration shared by
@@ -63,11 +50,15 @@ func (e *cacheEntry) dataset() *trace.Dataset {
 type Engine struct {
 	workers int
 
-	mu    sync.Mutex
-	cache map[Key]*cacheEntry
+	mu          sync.Mutex
+	cache       map[Key]*cacheEntry
+	seq         int64
+	maxDatasets int
 
-	executions atomic.Int64
-	inFlight   atomic.Int64
+	executions  atomic.Int64
+	inFlight    atomic.Int64
+	evictions   atomic.Int64
+	nestedViews atomic.Int64
 }
 
 // New returns an engine whose campaigns run at most workers studies
@@ -91,6 +82,55 @@ func (e *Engine) CachedDatasets() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return len(e.cache)
+}
+
+// EvictedDatasets returns how many datasets the cache bound has evicted
+// over the engine's lifetime.
+func (e *Engine) EvictedDatasets() int64 { return e.evictions.Load() }
+
+// NestedViews returns how many dataset generations have had their nested
+// [][][][] view built. Consumers that stay on the columnar cursor path
+// (streaming analysis, NDJSON sweeps) never trigger the view, so this
+// stays at zero for them — tests use it to prove a code path never
+// materialised the tensor form.
+func (e *Engine) NestedViews() int64 { return e.nestedViews.Load() }
+
+// SetMaxDatasets bounds the dataset cache to at most n completed entries,
+// evicting the least recently used when a new generation would exceed the
+// bound; n <= 0 removes the bound. In-flight generations are never
+// evicted, so the momentary population can exceed n while datasets are
+// being produced. Evicted datasets regenerate (and count as executions)
+// on their next request.
+func (e *Engine) SetMaxDatasets(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.maxDatasets = n
+	e.trimLocked()
+}
+
+// trimLocked evicts least-recently-used completed entries until the cache
+// respects the bound. Callers must hold e.mu.
+func (e *Engine) trimLocked() {
+	if e.maxDatasets <= 0 {
+		return
+	}
+	for len(e.cache) > e.maxDatasets {
+		var victimKey Key
+		var victim *cacheEntry
+		for k, entry := range e.cache {
+			if !entry.done.Load() {
+				continue
+			}
+			if victim == nil || entry.lastUse < victim.lastUse {
+				victimKey, victim = k, entry
+			}
+		}
+		if victim == nil {
+			return // everything over the bound is still generating
+		}
+		delete(e.cache, victimKey)
+		e.evictions.Add(1)
+	}
 }
 
 // Dataset returns the dataset for (model, geometry), generating it on
@@ -146,7 +186,11 @@ func (e *Engine) dataset(model workload.Model, geom cluster.Config, hint int) (*
 	if err != nil {
 		return nil, hit, err
 	}
-	return entry.dataset(), hit, nil
+	entry.dsOnce.Do(func() {
+		entry.ds = entry.col.Dataset()
+		e.nestedViews.Add(1)
+	})
+	return entry.ds, hit, nil
 }
 
 // entry resolves (model, geometry) to its single-flighted cache entry,
@@ -159,6 +203,11 @@ func (e *Engine) entry(model workload.Model, geom cluster.Config, hint int) (*ca
 		entry = &cacheEntry{}
 		e.cache[key] = entry
 	}
+	e.seq++
+	entry.lastUse = e.seq
+	if !ok {
+		e.trimLocked()
+	}
 	e.mu.Unlock()
 
 	hit := true
@@ -166,7 +215,10 @@ func (e *Engine) entry(model workload.Model, geom cluster.Config, hint int) (*ca
 		hit = false
 		e.executions.Add(1)
 		concurrent := int(e.inFlight.Add(1))
-		defer e.inFlight.Add(-1)
+		defer func() {
+			e.inFlight.Add(-1)
+			entry.done.Store(true)
+		}()
 		if hint > concurrent {
 			concurrent = hint
 		}

@@ -98,16 +98,16 @@ func (b Binned) FinishTime(arrivals []float64, bytesPerPart int, f network.Fabri
 
 // Result summarises one strategy over a dataset.
 type Result struct {
-	Strategy string
+	Strategy string `json:"strategy"`
 	// MeanFinishSec is the mean delivery-completion time per process
 	// iteration.
-	MeanFinishSec float64
+	MeanFinishSec float64 `json:"mean_finish_sec"`
 	// MeanOverlapSec is the mean of (bulk finish - strategy finish): the
 	// communication time recovered by early-bird delivery (the green
 	// boxes of the paper's Figure 2).
-	MeanOverlapSec float64
+	MeanOverlapSec float64 `json:"mean_overlap_sec"`
 	// SpeedupVsBulk is mean bulk finish / mean strategy finish.
-	SpeedupVsBulk float64
+	SpeedupVsBulk float64 `json:"speedup_vs_bulk"`
 }
 
 // Evaluate runs each strategy over every process iteration of the

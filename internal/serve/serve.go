@@ -1,0 +1,405 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"earlybird/internal/cluster"
+	"earlybird/internal/engine"
+)
+
+// Defaults for Options' zero values.
+const (
+	// DefaultMaxResults is the LRU result cache's default capacity.
+	DefaultMaxResults = 256
+	// DefaultMaxDatasets is the engine dataset cache's default bound.
+	DefaultMaxDatasets = 64
+	// DefaultMaxCachedSweepSamples is the geometry size (total samples)
+	// above which sweep cells bypass the dataset cache and run on the
+	// streaming fill: four paper geometries (~24 MiB columnar each).
+	DefaultMaxCachedSweepSamples = 4 * 768000
+	// DefaultMaxStudySamples is the largest geometry a materialising
+	// study request (/v1/study, /v1/feasibility, /v1/campaign) accepts:
+	// ten paper geometries (~60 MiB columnar). Larger analyses belong on
+	// /v1/sweep, whose streaming path is bounded-memory at any size.
+	DefaultMaxStudySamples = 10 * 768000
+	// maxSweepCells bounds one sweep request's grid.
+	maxSweepCells = 4096
+	// maxCampaignSpecs bounds one campaign request's batch.
+	maxCampaignSpecs = 4096
+	// maxRequestBytes bounds a request body; the largest legitimate
+	// bodies (a maxCampaignSpecs campaign with explicit geometries and
+	// fabrics) stay well under it.
+	maxRequestBytes = 8 << 20
+)
+
+// Options configures a Server. The zero value serves with one worker per
+// CPU, a 256-entry result cache and a 64-dataset engine cache.
+type Options struct {
+	// Workers bounds concurrently executing studies; <= 0 means one per
+	// usable CPU.
+	Workers int
+	// MaxResults bounds the LRU result cache; 0 means
+	// DefaultMaxResults, negative disables result caching.
+	MaxResults int
+	// MaxDatasets bounds the engine's dataset cache (LRU eviction); 0
+	// means DefaultMaxDatasets, negative leaves the cache unbounded.
+	MaxDatasets int
+	// MaxCachedSweepSamples is the largest geometry (by total samples) a
+	// sweep cell will generate through the dataset cache; larger cells
+	// use the bounded-memory streaming fill and are never stored. 0
+	// means DefaultMaxCachedSweepSamples.
+	MaxCachedSweepSamples int
+	// MaxStudySamples is the largest geometry (by total samples) the
+	// materialising study endpoints accept; larger requests are rejected
+	// with a pointer to /v1/sweep. 0 means DefaultMaxStudySamples.
+	MaxStudySamples int
+	// Engine, when non-nil, is used instead of a fresh engine — for
+	// sharing a dataset cache with campaigns run outside the server.
+	// Workers and MaxDatasets are ignored in that case.
+	Engine *engine.Engine
+}
+
+// Server is the study service: an http.Handler exposing the /v1 API over
+// one campaign engine, plus a managed http.Server for ListenAndServe /
+// Shutdown. Create with New; safe for concurrent use.
+type Server struct {
+	opts            Options
+	eng             *engine.Engine
+	co              *coalescer
+	mux             *http.ServeMux
+	start           time.Time
+	endpoints       map[string]*endpointStats
+	sources         sourceCounters
+	maxSweepSamples int
+	maxStudySamples int
+	httpSrv         *http.Server
+	// sem bounds the server's concurrently executing studies and sweep
+	// cells across all requests — the engine's Workers bound applied at
+	// the service level. Coalesced joiners and cache hits take no slot.
+	sem chan struct{}
+}
+
+// New returns a ready-to-serve study service.
+func New(opts Options) *Server {
+	eng := opts.Engine
+	if eng == nil {
+		eng = engine.New(opts.Workers)
+		maxDS := opts.MaxDatasets
+		if maxDS == 0 {
+			maxDS = DefaultMaxDatasets
+		}
+		if maxDS > 0 {
+			eng.SetMaxDatasets(maxDS)
+		}
+	}
+	maxResults := opts.MaxResults
+	if maxResults == 0 {
+		maxResults = DefaultMaxResults
+	}
+	maxSweep := opts.MaxCachedSweepSamples
+	if maxSweep <= 0 {
+		maxSweep = DefaultMaxCachedSweepSamples
+	}
+	maxStudy := opts.MaxStudySamples
+	if maxStudy <= 0 {
+		maxStudy = DefaultMaxStudySamples
+	}
+	s := &Server{
+		opts:            opts,
+		eng:             eng,
+		co:              newCoalescer(maxResults),
+		mux:             http.NewServeMux(),
+		start:           time.Now(),
+		endpoints:       map[string]*endpointStats{},
+		maxSweepSamples: maxSweep,
+		maxStudySamples: maxStudy,
+		sem:             make(chan struct{}, eng.Workers()),
+	}
+	s.httpSrv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	s.route("POST", "/v1/study", s.handleStudy)
+	s.route("POST", "/v1/campaign", s.handleCampaign)
+	s.route("POST", "/v1/feasibility", s.handleFeasibility)
+	s.route("POST", "/v1/sweep", s.handleSweep)
+	s.route("GET", "/v1/stats", s.handleStats)
+	s.route("GET", "/v1/healthz", s.handleHealthz)
+	return s
+}
+
+// Engine returns the server's campaign engine, so callers can share its
+// dataset cache or read its counters.
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Handler returns the service's routing handler, for embedding the API
+// in an existing server or an httptest harness.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// route registers one instrumented endpoint.
+func (s *Server) route(method, path string, h http.HandlerFunc) {
+	st := &endpointStats{}
+	s.endpoints[path] = st
+	s.mux.HandleFunc(method+" "+path, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		st.record(start, sw.status >= 400)
+	})
+}
+
+// statusWriter records the response status for the endpoint counters and
+// forwards Flush for the NDJSON stream.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// writeJSON renders one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError renders the uniform error body.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// decodeBody strictly decodes one JSON request body, bounded at
+// maxRequestBytes.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	return nil
+}
+
+// acquire takes one execution slot, bounding the server's concurrently
+// executing studies/sweep cells across all requests.
+func (s *Server) acquire() func() {
+	s.sem <- struct{}{}
+	return func() { <-s.sem }
+}
+
+// runStudy resolves one wire spec and answers it through the coalescing
+// stack: LRU result cache, then singleflight join, then execution on the
+// engine (whose dataset cache is a further sharing layer underneath).
+func (s *Server) runStudy(wire StudySpec) (engine.Result, Source, error) {
+	sp, err := wire.toSpec()
+	if err != nil {
+		return engine.Result{}, "", err
+	}
+	resolved, err := sp.Resolve()
+	if err != nil {
+		return engine.Result{}, "", err
+	}
+	if n := resolved.Geometry.Samples(); n > s.maxStudySamples {
+		return engine.Result{}, "", fmt.Errorf(
+			"geometry has %d samples, over the study limit %d; use /v1/sweep, whose streaming path is bounded-memory at any size",
+			n, s.maxStudySamples)
+	}
+	res, src := s.co.do(resolved.Key(), func() engine.Result {
+		defer s.acquire()()
+		r, _ := s.eng.RunSpec(resolved)
+		return r
+	})
+	s.sources.count(src)
+	return res, src, res.Err
+}
+
+// studyResponse assembles the wire reply from an engine result.
+func studyResponse(r engine.Result, src Source) StudyResponse {
+	return StudyResponse{
+		App:             r.Spec.App,
+		Geometry:        r.Spec.Geometry,
+		Alpha:           r.Spec.Alpha,
+		Metrics:         r.Metrics,
+		Table1:          r.Table1,
+		Assessment:      r.Assessment,
+		Source:          src,
+		DatasetCacheHit: r.CacheHit,
+	}
+}
+
+func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
+	var wire StudySpec
+	if err := decodeBody(w, r, &wire); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, src, err := s.runStudy(wire)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, studyResponse(res, src))
+}
+
+func (s *Server) handleFeasibility(w http.ResponseWriter, r *http.Request) {
+	var wire StudySpec
+	if err := decodeBody(w, r, &wire); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, src, err := s.runStudy(wire)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, FeasibilityResponse{
+		App:        res.Spec.App,
+		Geometry:   res.Spec.Geometry,
+		Assessment: res.Assessment,
+		Source:     src,
+	})
+}
+
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	var req CampaignRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Specs) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("campaign needs at least one spec"))
+		return
+	}
+	if len(req.Specs) > maxCampaignSpecs {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("campaign has %d specs, limit %d", len(req.Specs), maxCampaignSpecs))
+		return
+	}
+
+	resp := CampaignResponse{Results: make([]CampaignEntry, len(req.Specs))}
+	workers := req.Workers
+	if workers <= 0 || workers > s.eng.Workers() {
+		workers = s.eng.Workers()
+	}
+	if workers > len(req.Specs) {
+		workers = len(req.Specs)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				entry := CampaignEntry{Index: idx}
+				res, src, err := s.runStudy(req.Specs[idx])
+				if err != nil {
+					entry.Err = err.Error()
+				} else {
+					entry.StudyResponse = studyResponse(res, src)
+				}
+				resp.Results[idx] = entry
+			}
+		}()
+	}
+	for idx := range req.Specs {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i := range resp.Results {
+		if resp.Results[i].Err != "" {
+			resp.Failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		UptimeSec: time.Since(s.start).Seconds(),
+		Endpoints: make(map[string]EndpointSnapshot, len(s.endpoints)),
+		Study: StudySourceStats{
+			ResultCacheHits: s.sources.lruHits.Load(),
+			Coalesced:       s.sources.coalesced.Load(),
+			Executed:        s.sources.executed.Load(),
+			ResultCacheSize: s.co.size(),
+		},
+		Engine: EngineStats{
+			Executions:      s.eng.Executions(),
+			CachedDatasets:  s.eng.CachedDatasets(),
+			EvictedDatasets: s.eng.EvictedDatasets(),
+			NestedViews:     s.eng.NestedViews(),
+			Workers:         s.eng.Workers(),
+		},
+	}
+	for path, st := range s.endpoints {
+		resp.Endpoints[path] = st.snapshot()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ListenAndServe listens on addr and serves until Shutdown (returning
+// http.ErrServerClosed) or a listener error.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	err = s.Serve(ln)
+	ln.Close() // usually already closed by Shutdown; harmless otherwise
+	return err
+}
+
+// Serve serves on an existing listener until Shutdown or error. A server
+// that was already shut down returns http.ErrServerClosed immediately.
+func (s *Server) Serve(ln net.Listener) error {
+	return s.httpSrv.Serve(ln)
+}
+
+// Shutdown gracefully stops the server: the listener closes immediately,
+// in-flight requests drain until they finish or ctx expires. Shutting
+// down before Serve is safe and makes any later Serve return
+// http.ErrServerClosed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// defaultedGeometry maps the zero geometry to the paper's, mirroring
+// engine.Spec's defaulting for wire specs that omit the field.
+func defaultedGeometry(g cluster.Config) cluster.Config {
+	if g == (cluster.Config{}) {
+		return cluster.DefaultConfig()
+	}
+	return g
+}

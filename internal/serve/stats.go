@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// endpointStats aggregates one endpoint's traffic counters.
+type endpointStats struct {
+	requests  atomic.Int64
+	errors    atomic.Int64
+	latencyNs atomic.Int64
+}
+
+// record folds one finished request into the counters.
+func (s *endpointStats) record(start time.Time, isError bool) {
+	s.requests.Add(1)
+	if isError {
+		s.errors.Add(1)
+	}
+	s.latencyNs.Add(int64(time.Since(start)))
+}
+
+// EndpointSnapshot is one endpoint's row of the /v1/stats reply.
+type EndpointSnapshot struct {
+	Requests      int64   `json:"requests"`
+	Errors        int64   `json:"errors"`
+	MeanLatencyMs float64 `json:"mean_latency_ms"`
+}
+
+func (s *endpointStats) snapshot() EndpointSnapshot {
+	n := s.requests.Load()
+	snap := EndpointSnapshot{Requests: n, Errors: s.errors.Load()}
+	if n > 0 {
+		snap.MeanLatencyMs = float64(s.latencyNs.Load()) / float64(n) / 1e6
+	}
+	return snap
+}
+
+// StatsResponse is the /v1/stats reply: per-endpoint traffic, the study
+// path's work-sharing breakdown, and the engine's cache state.
+type StatsResponse struct {
+	UptimeSec float64                     `json:"uptime_sec"`
+	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
+
+	// Study work-sharing: of the study-shaped requests answered
+	// (study, feasibility, campaign entries), how many were served from
+	// the result cache, attached to an in-flight execution, or executed.
+	Study StudySourceStats `json:"study_sources"`
+
+	Engine EngineStats `json:"engine"`
+}
+
+// StudySourceStats counts study answers by source.
+type StudySourceStats struct {
+	ResultCacheHits int64 `json:"result_cache_hits"`
+	Coalesced       int64 `json:"coalesced"`
+	Executed        int64 `json:"executed"`
+	// ResultCacheSize is the current LRU population.
+	ResultCacheSize int `json:"result_cache_size"`
+}
+
+// EngineStats mirrors the engine's cache counters.
+type EngineStats struct {
+	Executions      int64 `json:"dataset_executions"`
+	CachedDatasets  int   `json:"cached_datasets"`
+	EvictedDatasets int64 `json:"evicted_datasets"`
+	NestedViews     int64 `json:"nested_views"`
+	Workers         int   `json:"workers"`
+}
+
+// sourceCounters tallies study answers by source, shared by the study,
+// feasibility and campaign handlers.
+type sourceCounters struct {
+	lruHits   atomic.Int64
+	coalesced atomic.Int64
+	executed  atomic.Int64
+}
+
+func (c *sourceCounters) count(src Source) {
+	switch src {
+	case SourceResultCache:
+		c.lruHits.Add(1)
+	case SourceCoalesced:
+		c.coalesced.Add(1)
+	case SourceExecuted:
+		c.executed.Add(1)
+	}
+}

@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"earlybird/internal/analysis"
+	"earlybird/internal/cluster"
+	"earlybird/internal/core"
+	"earlybird/internal/stats/normality"
+	"earlybird/internal/workload"
+)
+
+// SweepRequest describes a scenario grid: the cross product of
+// applications, geometries, significance levels and laggard thresholds.
+// Omitted axes default to one paper-default point, so {"apps":
+// ["minife","miniqmc"]} is a two-cell sweep.
+type SweepRequest struct {
+	// Apps are the built-in application models to sweep.
+	Apps []string `json:"apps"`
+	// Geometries and GeometryNames together form the geometry axis; a
+	// zero geometry entry means the paper's. Both empty means one
+	// paper-geometry point.
+	Geometries    []cluster.Config `json:"geometries,omitempty"`
+	GeometryNames []string         `json:"geometry_names,omitempty"`
+	// Alphas is the normality significance axis; empty means [0.05].
+	Alphas []float64 `json:"alphas,omitempty"`
+	// LaggardThresholdsSec is the laggard rule axis; empty means [1 ms].
+	LaggardThresholdsSec []float64 `json:"laggard_thresholds_sec,omitempty"`
+	// Workers bounds how many cells run concurrently; omitted or <= 0
+	// uses the engine's bound.
+	Workers int `json:"workers,omitempty"`
+}
+
+// SweepRow is one NDJSON line of the /v1/sweep response: one grid cell's
+// streaming analysis. Rows arrive in completion order; Index places the
+// row in the request grid (app-major, then geometry, alpha, threshold).
+type SweepRow struct {
+	Index               int                 `json:"index"`
+	App                 string              `json:"app"`
+	Geometry            cluster.Config      `json:"geometry"`
+	Alpha               float64             `json:"alpha"`
+	LaggardThresholdSec float64             `json:"laggard_threshold_sec"`
+	Metrics             analysis.AppMetrics `json:"metrics"`
+	Table1              analysis.Table1     `json:"table1"`
+	// Recommendation is the Section 5 verdict from the streaming
+	// discriminants (core.ClassifyMetrics).
+	Recommendation core.Recommendation `json:"recommendation"`
+	// DatasetCacheHit reports the cell was answered from the engine's
+	// columnar cache without a fresh generation.
+	DatasetCacheHit bool `json:"dataset_cache_hit"`
+	// Streamed reports the cell ran on the bounded-memory streaming fill
+	// (geometry above the cache bound) instead of the cached cursor path.
+	Streamed bool   `json:"streamed"`
+	Err      string `json:"error,omitempty"`
+}
+
+// sweepCellSpec is one expanded grid cell.
+type sweepCellSpec struct {
+	index   int
+	app     string
+	geom    cluster.Config
+	alpha   float64
+	laggard float64
+}
+
+// expand builds the grid in deterministic app-major order.
+func (req SweepRequest) expand() ([]sweepCellSpec, error) {
+	if len(req.Apps) == 0 {
+		return nil, fmt.Errorf("sweep needs at least one app")
+	}
+	geoms := make([]cluster.Config, 0, len(req.Geometries)+len(req.GeometryNames))
+	for _, g := range req.Geometries {
+		geoms = append(geoms, defaultedGeometry(g))
+	}
+	for _, name := range req.GeometryNames {
+		g, err := namedGeometry(name)
+		if err != nil {
+			return nil, err
+		}
+		geoms = append(geoms, g)
+	}
+	if len(geoms) == 0 {
+		geoms = []cluster.Config{cluster.DefaultConfig()}
+	}
+	alphas := req.Alphas
+	if len(alphas) == 0 {
+		alphas = []float64{normality.DefaultAlpha}
+	}
+	laggards := req.LaggardThresholdsSec
+	if len(laggards) == 0 {
+		laggards = []float64{analysis.DefaultLaggardThresholdSec}
+	}
+
+	n := len(req.Apps) * len(geoms) * len(alphas) * len(laggards)
+	if n > maxSweepCells {
+		return nil, fmt.Errorf("sweep grid has %d cells, limit %d", n, maxSweepCells)
+	}
+	cells := make([]sweepCellSpec, 0, n)
+	for _, app := range req.Apps {
+		for _, g := range geoms {
+			for _, a := range alphas {
+				for _, l := range laggards {
+					cells = append(cells, sweepCellSpec{
+						index: len(cells), app: app, geom: g, alpha: a, laggard: l,
+					})
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// sweepCell analyses one grid cell without ever building the nested
+// tensor view: cached geometries read the engine's columnar store
+// through fresh cursors; larger ones run the bounded-memory streaming
+// fill and bypass the cache entirely.
+func (s *Server) sweepCell(c sweepCellSpec) SweepRow {
+	row := SweepRow{
+		Index:               c.index,
+		App:                 c.app,
+		Geometry:            c.geom,
+		Alpha:               c.alpha,
+		LaggardThresholdSec: c.laggard,
+	}
+	if err := c.geom.Validate(); err != nil {
+		row.Err = err.Error()
+		return row
+	}
+	if c.geom.Samples() <= s.maxSweepSamples {
+		model, err := workload.ByName(c.app)
+		if err != nil {
+			row.Err = err.Error()
+			return row
+		}
+		col, hit, err := s.eng.Columnar(model, c.geom)
+		if err != nil {
+			row.Err = err.Error()
+			return row
+		}
+		row.DatasetCacheHit = hit
+		row.Metrics = analysis.ComputeMetricsStreaming(c.app, col.Cursor(), c.laggard)
+		row.Table1 = analysis.Table1Streaming(c.app, col.Cursor(), c.alpha)
+	} else {
+		res, err := core.StreamStudy(core.Options{
+			App:                 c.app,
+			Geometry:            c.geom,
+			Alpha:               c.alpha,
+			LaggardThresholdSec: c.laggard,
+		})
+		if err != nil {
+			row.Err = err.Error()
+			return row
+		}
+		row.Streamed = true
+		row.Metrics = res.Metrics
+		row.Table1 = res.Table1
+	}
+	row.Recommendation = core.ClassifyMetrics(row.Metrics)
+	return row
+}
+
+// handleSweep streams the grid as NDJSON: one row per cell, written and
+// flushed the moment the cell completes, so clients see results while
+// the rest of the grid is still computing and the server never holds
+// more than the in-flight cells' accumulator state.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cells, err := req.expand()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Sweep-Cells", fmt.Sprint(len(cells)))
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	var writeMu sync.Mutex
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	emit := func(row SweepRow) {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		_ = enc.Encode(row) // Encode terminates each row with '\n'
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	workers := req.Workers
+	if workers <= 0 || workers > s.eng.Workers() {
+		workers = s.eng.Workers()
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	jobs := make(chan sweepCellSpec)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				release := s.acquire()
+				row := s.sweepCell(c)
+				release()
+				emit(row)
+			}
+		}()
+	}
+	for _, c := range cells {
+		jobs <- c
+	}
+	close(jobs)
+	wg.Wait()
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"fmt"
+
+	"earlybird/internal/analysis"
+	"earlybird/internal/cluster"
+	"earlybird/internal/core"
+	"earlybird/internal/engine"
+	"earlybird/internal/network"
+)
+
+// StudySpec is the wire form of engine.Spec: everything JSON-expressible
+// about one study. Zero or omitted fields fill with the paper's defaults,
+// exactly as engine.Spec does, so the empty object is a valid request for
+// the paper-geometry MiniFE study once "app" is set.
+type StudySpec struct {
+	// App names a built-in application model: minife, minimd or miniqmc.
+	App string `json:"app"`
+	// Geometry sizes the study explicitly; mutually exclusive with
+	// GeometryName. Omitted means the paper's 10x8x200x48, seed 1.
+	Geometry *cluster.Config `json:"geometry,omitempty"`
+	// GeometryName selects a named geometry: "paper", "quick" or "huge".
+	GeometryName string `json:"geometry_name,omitempty"`
+	// Alpha is the normality significance level; omitted means 5%.
+	Alpha float64 `json:"alpha,omitempty"`
+	// LaggardThresholdSec is the laggard rule; omitted means 1 ms.
+	LaggardThresholdSec float64 `json:"laggard_threshold_sec,omitempty"`
+	// BytesPerPartition sizes the feasibility partitions; omitted means
+	// 1 MiB.
+	BytesPerPartition int `json:"bytes_per_partition,omitempty"`
+	// Fabric overrides the interconnect model; omitted means the paper's
+	// Omni-Path parameters.
+	Fabric *network.Fabric `json:"fabric,omitempty"`
+	// BinTimeoutSec is the binned delivery strategy's flush timeout;
+	// omitted means 1 ms.
+	BinTimeoutSec float64 `json:"bin_timeout_sec,omitempty"`
+}
+
+// namedGeometry resolves a GeometryName.
+func namedGeometry(name string) (cluster.Config, error) {
+	switch name {
+	case "", "paper":
+		return cluster.DefaultConfig(), nil
+	case "quick":
+		return cluster.SmallConfig(), nil
+	case "huge":
+		return cluster.HugeConfig(), nil
+	default:
+		return cluster.Config{}, fmt.Errorf("unknown geometry name %q (want paper, quick or huge)", name)
+	}
+}
+
+// toSpec converts the wire spec to an engine spec, resolving the named
+// geometry if one was given.
+func (w StudySpec) toSpec() (engine.Spec, error) {
+	sp := engine.Spec{
+		App:                 w.App,
+		Alpha:               w.Alpha,
+		LaggardThresholdSec: w.LaggardThresholdSec,
+		BytesPerPartition:   w.BytesPerPartition,
+		BinTimeoutSec:       w.BinTimeoutSec,
+	}
+	if w.Geometry != nil && w.GeometryName != "" {
+		return sp, fmt.Errorf("geometry and geometry_name are mutually exclusive")
+	}
+	if w.Geometry != nil {
+		sp.Geometry = *w.Geometry
+	} else if w.GeometryName != "" {
+		g, err := namedGeometry(w.GeometryName)
+		if err != nil {
+			return sp, err
+		}
+		sp.Geometry = g
+	}
+	if w.Fabric != nil {
+		if err := w.Fabric.Validate(); err != nil {
+			return sp, err
+		}
+		sp.Fabric = *w.Fabric
+	}
+	return sp, nil
+}
+
+// Source labels how a study response was produced, from cheapest to most
+// expensive.
+type Source string
+
+const (
+	// SourceResultCache: the resolved spec was in the LRU result cache.
+	SourceResultCache Source = "result-cache"
+	// SourceCoalesced: the request attached to an identical in-flight
+	// execution and shared its result.
+	SourceCoalesced Source = "coalesced"
+	// SourceExecuted: this request ran the analysis itself (the dataset
+	// may still have come from the engine's cache — see DatasetCacheHit).
+	SourceExecuted Source = "executed"
+)
+
+// StudyResponse is the /v1/study reply: the resolved spec's identity,
+// the full analysis, and where the answer came from.
+type StudyResponse struct {
+	App      string         `json:"app"`
+	Geometry cluster.Config `json:"geometry"`
+	Alpha    float64        `json:"alpha"`
+
+	Metrics    analysis.AppMetrics `json:"metrics"`
+	Table1     analysis.Table1     `json:"table1"`
+	Assessment core.Assessment     `json:"assessment"`
+
+	// Source reports which layer answered: result-cache, coalesced or
+	// executed.
+	Source Source `json:"source"`
+	// DatasetCacheHit reports whether the dataset came from the engine's
+	// cache rather than a fresh generation (only meaningful for executed
+	// responses).
+	DatasetCacheHit bool `json:"dataset_cache_hit"`
+}
+
+// CampaignRequest is the /v1/campaign body: a batch of wire specs plus
+// an optional concurrency bound.
+type CampaignRequest struct {
+	Specs []StudySpec `json:"specs"`
+	// Workers bounds how many studies run concurrently; omitted or <= 0
+	// uses the engine's bound.
+	Workers int `json:"workers,omitempty"`
+}
+
+// CampaignResponse is the /v1/campaign reply: one entry per spec, in
+// spec order. Per-spec failures carry an error string and empty
+// analysis; the other entries are still valid.
+type CampaignResponse struct {
+	Results []CampaignEntry `json:"results"`
+	// Failed counts entries with errors.
+	Failed int `json:"failed"`
+}
+
+// CampaignEntry is one spec's outcome within a campaign response.
+type CampaignEntry struct {
+	Index int `json:"index"`
+	StudyResponse
+	Err string `json:"error,omitempty"`
+}
+
+// FeasibilityResponse is the /v1/feasibility reply: the Section 5
+// verdict without the full metrics payload.
+type FeasibilityResponse struct {
+	App        string          `json:"app"`
+	Geometry   cluster.Config  `json:"geometry"`
+	Assessment core.Assessment `json:"assessment"`
+	Source     Source          `json:"source"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,12 +1,6 @@
-// Package stats implements the descriptive statistics, histogram, and
-// distribution machinery used throughout the thread-timing study: sample
-// moments, percentiles and inter-quartile ranges (Figures 4, 6 and 8 of the
-// paper), fixed-width histograms (Figures 3, 5, 7 and 9), the empirical CDF,
-// and the standard normal distribution functions required by the normality
-// tests in the stats/normality subpackage.
-//
-// All functions operate on float64 slices and, unless stated otherwise, do
-// not mutate their input.
+// Exact descriptive statistics over materialised float64 samples; the
+// streaming counterparts live in stream.go.
+
 package stats
 
 import (

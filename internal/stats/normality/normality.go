@@ -32,6 +32,21 @@ const (
 // Tests lists all three tests in the order the paper's Table 1 reports them.
 var Tests = []Test{DAgostino, ShapiroWilk, AndersonDarling}
 
+// Slug returns the test's machine-readable name, used as a JSON object
+// key by the serve layer's wire format.
+func (t Test) Slug() string {
+	switch t {
+	case DAgostino:
+		return "dagostino"
+	case ShapiroWilk:
+		return "shapiro_wilk"
+	case AndersonDarling:
+		return "anderson_darling"
+	default:
+		return fmt.Sprintf("test_%d", int(t))
+	}
+}
+
 // String returns the conventional test name.
 func (t Test) String() string {
 	switch t {

@@ -5,6 +5,7 @@
 // QuantileSketch is a mergeable t-digest-style percentile estimator with
 // documented, bounded error. Both types merge, so a parallel fill can keep
 // one accumulator per worker and combine at the end.
+
 package stats
 
 import (

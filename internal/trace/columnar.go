@@ -17,6 +17,7 @@
 // pass over the data. Data leaves through a Cursor: block-at-a-time
 // iteration over process iterations, each block a zero-copy view of the
 // column.
+
 package trace
 
 import (

@@ -1,13 +1,4 @@
-// Package trace implements the paper's instrumentation methodology
-// (Section 3.1): recording, per thread and per iteration, the monotonic
-// timestamps at which a thread enters and exits a parallel compute region,
-// and deriving from them the thread's "compute time" — the elapsed
-// nanoseconds between exit and enter.
-//
-// Raw monotonic readings are comparable only on the core that produced
-// them (no tsc_reliable on the paper's platform); the derived compute time
-// cancels any constant per-core offset and is therefore comparable across
-// cores, sockets and nodes. The Recorder mirrors Listing 1 of the paper:
+// The Recorder mirrors Listing 1 of the paper:
 //
 //	rec := trace.NewRecorder(clock, iters, nthreads)
 //	pool.Parallel(func(tc *omp.ThreadContext) {
@@ -18,6 +9,7 @@
 //	    rec.Exit(iter, t, t)  // clock_gettime right after own share
 //	    tc.Barrier()
 //	})
+
 package trace
 
 import (

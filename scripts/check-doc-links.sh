@@ -1,0 +1,26 @@
+#!/bin/sh
+# Docs link check: fail if any Markdown file referenced from README.md or
+# from Go sources is absent from the repository root. This is what keeps
+# promises like "see DESIGN.md" honest — the references existed for two
+# PRs before the files did.
+set -eu
+cd "$(dirname "$0")/.."
+
+refs=$(
+	{
+		grep -rhoE '[A-Za-z0-9_.-]+\.md' --include='*.go' .
+		grep -hoE '[A-Za-z0-9_.-]+\.md' README.md
+	} | sort -u
+)
+
+status=0
+for f in $refs; do
+	if [ ! -f "$f" ]; then
+		echo "check-doc-links: missing doc referenced from README/Go sources: $f" >&2
+		status=1
+	fi
+done
+if [ "$status" -eq 0 ]; then
+	echo "check-doc-links: all $(echo "$refs" | wc -l | tr -d ' ') referenced docs exist"
+fi
+exit $status
