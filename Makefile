@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json lint fmt docs-check
+.PHONY: all build test race bench bench-json lint fmt docs-check cover fuzz-smoke
 
 all: build lint docs-check test
 
@@ -24,10 +24,26 @@ bench:
 # Streaming-vs-materialised study benchmark at the paper's geometry,
 # recorded as test2json events so the perf trajectory of the data plane
 # accumulates across PRs (acceptance: streaming B/op >= 5x lower).
+# BenchmarkStrategySweep does the same for the strategy lab's evaluator
+# (acceptance: streaming B/op strictly below the materialised path).
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkStudy(Streaming|Materialized)$$' \
 		-benchmem -benchtime=3x -json . > BENCH_streaming.json
 	@grep -o 'Benchmark[A-Za-z]*[ \t].*allocs/op' BENCH_streaming.json || true
+	$(GO) test -run '^$$' -bench '^BenchmarkStrategySweep$$' \
+		-benchmem -benchtime=3x -json ./internal/partcomm > BENCH_strategies.json
+	@grep -oE '[0-9]+ ns/op[^"]*allocs/op' BENCH_strategies.json || true
+
+# Coverage profile + one-line summary, uploaded as a CI artifact so the
+# trajectory accumulates across PRs.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1 | tee COVERAGE.txt
+
+# 10-second coverage-guided smoke of the strategy-ordering laws; the
+# saved corpus replays in plain `make test` as well.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzStrategyOrdering$$' -fuzztime 10s ./internal/partcomm
 
 lint:
 	$(GO) vet ./...

@@ -12,11 +12,18 @@
 //	earlybird -app miniqmc
 //	earlybird -in fe.json -part-bytes 262144 -bin-timeout-ms 0.5
 //	earlybird -app minife -remote http://localhost:8080   # ask a running earlybirdd
+//	earlybird -app miniqmc -strategies                    # full strategy-grid optimizer
 //
 // With -remote the assessment is requested from a running earlybirdd
 // study service (POST /v1/feasibility) instead of computed in-process,
 // so repeated invocations across machines share the service's coalesced
 // executions and caches.
+//
+// With -strategies the three-strategy assessment is replaced by the
+// strategy lab's optimizer sweep: the full grid (bulk, fine-grained,
+// binned timeouts, EWMA-predicted binning, IQR-switching hybrid, tuned
+// laggard-aware) evaluated on the cursor path, rendered as a frontier
+// table. Combined with -remote it asks POST /v1/strategies instead.
 package main
 
 import (
@@ -31,21 +38,23 @@ import (
 	"earlybird/internal/cluster"
 	"earlybird/internal/core"
 	"earlybird/internal/network"
+	"earlybird/internal/partcomm"
 	"earlybird/internal/serve"
 	"earlybird/internal/trace"
 )
 
 func main() {
 	var (
-		app       = flag.String("app", "", "built-in application (minife|minimd|miniqmc)")
-		in        = flag.String("in", "", "dataset JSON (alternative to -app)")
-		partBytes = flag.Int("part-bytes", 1<<20, "bytes per partition (one partition per thread)")
-		timeoutMs = flag.Float64("bin-timeout-ms", 1.0, "binned-strategy flush timeout (ms)")
-		trials    = flag.Int("trials", 3, "trials when running a built-in app")
-		iters     = flag.Int("iters", 60, "iterations when running a built-in app")
-		latencyUs = flag.Float64("latency-us", 1.0, "fabric latency (us)")
-		bwGBs     = flag.Float64("bandwidth-gbs", 12.5, "fabric bandwidth (GB/s)")
-		remote    = flag.String("remote", "", "base URL of a running earlybirdd (assess via the service instead of in-process)")
+		app        = flag.String("app", "", "built-in application (minife|minimd|miniqmc)")
+		in         = flag.String("in", "", "dataset JSON (alternative to -app)")
+		partBytes  = flag.Int("part-bytes", 1<<20, "bytes per partition (one partition per thread)")
+		timeoutMs  = flag.Float64("bin-timeout-ms", 1.0, "binned-strategy flush timeout (ms)")
+		trials     = flag.Int("trials", 3, "trials when running a built-in app")
+		iters      = flag.Int("iters", 60, "iterations when running a built-in app")
+		latencyUs  = flag.Float64("latency-us", 1.0, "fabric latency (us)")
+		bwGBs      = flag.Float64("bandwidth-gbs", 12.5, "fabric bandwidth (GB/s)")
+		remote     = flag.String("remote", "", "base URL of a running earlybirdd (assess via the service instead of in-process)")
+		strategies = flag.Bool("strategies", false, "sweep the full delivery-strategy grid (optimizer frontier) instead of the three-strategy assessment")
 	)
 	flag.Parse()
 
@@ -56,16 +65,65 @@ func main() {
 			err = fmt.Errorf("-remote cannot assess a local dataset (-in); datasets do not travel over the wire")
 		case *app == "":
 			err = fmt.Errorf("-remote requires -app")
+		case *strategies:
+			err = runRemoteStrategies(*remote, *app, *partBytes, *trials, *iters, *latencyUs*1e-6, *bwGBs*1e9)
 		default:
 			err = runRemote(*remote, *app, *partBytes, *timeoutMs*1e-3, *trials, *iters, *latencyUs*1e-6, *bwGBs*1e9)
 		}
 	} else {
-		err = run(*app, *in, *partBytes, *timeoutMs*1e-3, *trials, *iters, *latencyUs*1e-6, *bwGBs*1e9)
+		err = run(*app, *in, *partBytes, *timeoutMs*1e-3, *trials, *iters, *latencyUs*1e-6, *bwGBs*1e9, *strategies)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "earlybird:", err)
 		os.Exit(1)
 	}
+}
+
+// printSweep renders one strategy-lab sweep as a frontier table.
+func printSweep(app string, sw partcomm.Sweep) {
+	fmt.Printf("%s: potential overlap %.3f ms/thread\n", app, 1e3*sw.PotentialOverlapSec)
+	for _, r := range sw.Results {
+		fmt.Printf("  %-24s finish %8.3f ms  overlap %8.3f ms  speedup %5.3fx  capture %5.1f%%\n",
+			r.Strategy, 1e3*r.MeanFinishSec, 1e3*r.MeanOverlapSec, r.SpeedupVsBulk, 100*r.OverlapCapture)
+	}
+	fmt.Printf("  -> best %s: finish %.3f ms, captures %.1f%% of potential\n",
+		sw.Best, 1e3*sw.BestFinishSec, 100*sw.BestCapture)
+}
+
+// runRemoteStrategies asks a running study service for the optimizer
+// sweep (POST /v1/strategies, single cell, JSON mode).
+func runRemoteStrategies(base, app string, partBytes, trials, iters int, latencySec, bwBps float64) error {
+	req := serve.StrategiesRequest{
+		Apps:              []string{app},
+		Geometries:        []cluster.Config{{Trials: trials, Ranks: 8, Iterations: iters, Threads: 48, Seed: 1}},
+		BytesPerPartition: partBytes,
+		Fabric:            &network.Fabric{LatencySec: latencySec, BandwidthBytesPerSec: bwBps, OverheadSec: 0.3e-6},
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/strategies", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("service returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var sr serve.StrategiesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return err
+	}
+	for _, row := range sr.Rows {
+		if row.Err != "" {
+			return fmt.Errorf("service: %s", row.Err)
+		}
+		fmt.Printf("served by %s (%s)\n", base, row.Source)
+		printSweep(row.App, row.Sweep)
+	}
+	return nil
 }
 
 // runRemote asks a running study service for the assessment.
@@ -99,7 +157,7 @@ func runRemote(base, app string, partBytes int, timeoutSec float64, trials, iter
 	return nil
 }
 
-func run(app, in string, partBytes int, timeoutSec float64, trials, iters int, latencySec, bwBps float64) error {
+func run(app, in string, partBytes int, timeoutSec float64, trials, iters int, latencySec, bwBps float64, strategies bool) error {
 	var (
 		study *core.Study
 		err   error
@@ -131,6 +189,10 @@ func run(app, in string, partBytes int, timeoutSec float64, trials, iters int, l
 	fabric := network.Fabric{LatencySec: latencySec, BandwidthBytesPerSec: bwBps, OverheadSec: 0.3e-6}
 	if err := fabric.Validate(); err != nil {
 		return err
+	}
+	if strategies {
+		printSweep(study.App(), study.StrategySweep(partBytes, fabric, nil))
+		return nil
 	}
 	a := study.Feasibility(partBytes, fabric, timeoutSec)
 	fmt.Print(a)

@@ -26,7 +26,7 @@ import (
 func main() {
 	var (
 		quick   = flag.Bool("quick", false, "reduced geometry (3x4x60x48) for a fast run")
-		exp     = flag.String("exp", "all", "experiment: all | E1 | E2 | table1 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | metrics | overlap | ablation | distsweep | campaign")
+		exp     = flag.String("exp", "all", "experiment: all | E1 | E2 | table1 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | metrics | overlap | strategies | ablation | distsweep | campaign")
 		figdir  = flag.String("figdir", "", "directory to write figure CSV data into")
 		seed    = flag.Uint64("seed", 1, "master seed")
 		workers = flag.Int("workers", 0, "max concurrently executing studies (0 = one per CPU)")
@@ -150,6 +150,8 @@ func run(s *experiments.Suite, exp, figdir string) error {
 				fmt.Fprintf(w, "  %s\n", r)
 			}
 		}
+	case "strategies", "E14", "frontier":
+		s.WriteStrategyFrontier(w)
 	case "ablation":
 		s.WriteAblationReport(w)
 	case "distsweep":

@@ -32,10 +32,18 @@
 // with NewEngine and call its Run method directly.
 //
 // The same engine can front HTTP traffic: NewServer (or the blocking
-// Serve) exposes /v1/study, /v1/campaign, /v1/feasibility and the
-// NDJSON-streaming /v1/sweep with singleflight request coalescing and a
-// bounded LRU result cache layered over the dataset cache — see
-// internal/serve and the cmd/earlybirdd daemon.
+// Serve) exposes /v1/study, /v1/campaign, /v1/feasibility, the
+// NDJSON-streaming /v1/sweep and the /v1/strategies delivery-strategy
+// optimizer with singleflight request coalescing and a bounded LRU
+// result cache layered over the dataset cache — see internal/serve and
+// the cmd/earlybirdd daemon.
+//
+// The strategy lab extends the paper's Section 5 feasibility question:
+// Study.StrategySweep (and cmd/earlybird -strategies) evaluates a grid
+// of delivery strategies — including adaptive ones: EWMA-predicted
+// timeout binning, laggard-aware batching and an IQR-switching hybrid —
+// over the measured arrivals on the cursor path and reports the
+// frontier.
 //
 // The heavy lifting lives in the internal packages (omp, trace, workload,
 // cluster, engine, stats/normality, partcomm, analysis, experiments);
@@ -51,6 +59,7 @@ import (
 	"earlybird/internal/core"
 	"earlybird/internal/engine"
 	"earlybird/internal/network"
+	"earlybird/internal/partcomm"
 	"earlybird/internal/serve"
 	"earlybird/internal/trace"
 )
@@ -87,6 +96,19 @@ type Dataset = trace.Dataset
 
 // AppMetrics holds the Section 4.2 scalar metrics of a study.
 type AppMetrics = analysis.AppMetrics
+
+// DeliveryStrategy is a message-delivery policy evaluated over measured
+// thread arrivals (see internal/partcomm: Bulk, FineGrained, Binned,
+// EWMABinned, LaggardAware, Hybrid).
+type DeliveryStrategy = partcomm.Strategy
+
+// StrategyResult summarises one delivery strategy over a study.
+type StrategyResult = partcomm.Result
+
+// StrategySweep is the outcome of a delivery-strategy grid evaluation:
+// per-strategy results plus the frontier. Produced by
+// Study.StrategySweep and the /v1/strategies endpoint.
+type StrategySweep = partcomm.Sweep
 
 // NewStudy runs a study with the given options.
 func NewStudy(opts Options) (*Study, error) { return core.NewStudy(opts) }

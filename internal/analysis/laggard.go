@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"sort"
+
 	"earlybird/internal/stats"
 	"earlybird/internal/trace"
 )
@@ -52,6 +54,38 @@ func LaggardsInRange(d *trace.Dataset, threshold float64, fromIter, toIter int) 
 			magSum += mag
 		}
 	})
+	if st.Total > 0 {
+		st.Fraction = float64(st.WithLaggard) / float64(st.Total)
+	}
+	if st.WithLaggard > 0 {
+		st.MeanMagnitudeSec = magSum / float64(st.WithLaggard)
+	}
+	return st
+}
+
+// LaggardsStream classifies every process iteration yielded by the
+// cursor — the cursor-native counterpart of Laggards, with identical
+// results (each block is a complete iteration when observed) and
+// O(threads) live memory. Strategy-lab consumers use it to tune
+// laggard-aware delivery without materialising the nested view.
+func LaggardsStream(cur *trace.Cursor, threshold float64) LaggardStats {
+	var st LaggardStats
+	magSum := 0.0
+	var scratch []float64
+	for cur.Next() {
+		b := cur.Block()
+		if len(b.Times) == 0 {
+			continue
+		}
+		st.Total++
+		scratch = append(scratch[:0], b.Times...)
+		sort.Float64s(scratch)
+		mag := scratch[len(scratch)-1] - stats.PercentileSorted(scratch, 50)
+		if mag > threshold {
+			st.WithLaggard++
+			magSum += mag
+		}
+	}
 	if st.Total > 0 {
 		st.Fraction = float64(st.WithLaggard) / float64(st.Total)
 	}

@@ -37,6 +37,11 @@ type Options struct {
 	Alpha float64
 	// LaggardThresholdSec is the laggard rule; zero means 1 ms.
 	LaggardThresholdSec float64
+	// Strategies overrides the delivery-strategy set Feasibility
+	// evaluates; nil means the paper's three (bulk, fine-grained, binned
+	// at the assessment's timeout). Adaptive strategies carry evaluation
+	// state, so the slice must not be shared across concurrent studies.
+	Strategies []partcomm.Strategy
 }
 
 func (o *Options) fill() error {
@@ -252,14 +257,45 @@ func (s *Study) Feasibility(bytesPerPart int, fabric network.Fabric, binTimeoutS
 		LaggardFraction:     analysis.Laggards(s.ds, effThreshold).Fraction,
 	}
 	a.IQRToMedian = m.IQRToMedian()
-	a.Results = partcomm.Evaluate(s.ds, bytesPerPart, fabric, []partcomm.Strategy{
-		partcomm.Bulk{},
-		partcomm.FineGrained{},
-		partcomm.Binned{TimeoutSec: binTimeoutSec},
-	})
+	strategies := s.opts.Strategies
+	if strategies == nil {
+		strategies = []partcomm.Strategy{
+			partcomm.Bulk{},
+			partcomm.FineGrained{},
+			partcomm.Binned{TimeoutSec: binTimeoutSec},
+		}
+	}
+	// Cursor path: identical numbers to the materialised Evaluate, one
+	// sort per block, no per-iteration allocation.
+	a.Results = partcomm.EvaluateStream(s.ds.Cursor(), bytesPerPart, fabric, strategies)
 	a.Recommendation = Classify(a.IQRToMedian, a.LaggardFraction)
 	return a
 }
+
+// StrategySweep evaluates a delivery-strategy grid over the study's
+// arrivals on the cursor path and returns the per-strategy results plus
+// the frontier (best finish time and overlap capture). nil strategies
+// means the standard optimizer grid (partcomm.Grid) with the paper's
+// binning timeouts and a laggard-aware policy tuned from this study's
+// measured laggard statistics.
+func (s *Study) StrategySweep(bytesPerPart int, fabric network.Fabric, strategies []partcomm.Strategy) partcomm.Sweep {
+	if strategies == nil {
+		lag := analysis.LaggardsStream(s.ds.Cursor(), s.opts.LaggardThresholdSec)
+		strategies = partcomm.Grid(DefaultStrategyTimeoutsSec(), DefaultStrategyEWMAAlphas(), lag)
+	}
+	return partcomm.SweepCursor(s.ds.Cursor(), bytesPerPart, fabric, strategies)
+}
+
+// DefaultStrategyTimeoutsSec returns the binned-timeout axis of the
+// standard strategy grid: the paper's 1 ms bracketed by quarters,
+// halves and doubles.
+func DefaultStrategyTimeoutsSec() []float64 {
+	return []float64{0.25e-3, 0.5e-3, 1e-3, 2e-3}
+}
+
+// DefaultStrategyEWMAAlphas returns the EWMA smoothing axis of the
+// standard strategy grid.
+func DefaultStrategyEWMAAlphas() []float64 { return []float64{0.2} }
 
 // String renders the assessment.
 func (a Assessment) String() string {

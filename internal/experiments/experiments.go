@@ -286,6 +286,35 @@ func (s *Suite) E12Overlap() map[string][]partcomm.Result {
 	return out
 }
 
+// E14StrategyTimeouts returns the binned-timeout axis of the E14
+// strategy grid: the configured timeout bracketed by quarters, halves
+// and doubles.
+func (s *Suite) E14StrategyTimeouts() []float64 {
+	t := s.cfg.BinTimeoutSec
+	return []float64{t / 4, t / 2, t, 2 * t}
+}
+
+// E14StrategyFrontier sweeps the standard delivery-strategy grid per
+// application — bulk and fine-grained anchors, binned delivery across
+// E14StrategyTimeouts, EWMA-predicted binning, the IQR-switching
+// hybrid, and a laggard-aware policy tuned from each application's
+// measured laggard statistics — entirely on the columnar cursor path:
+// the engine's cached store is read through cursors and the nested
+// tensor view is never built for this experiment.
+func (s *Suite) E14StrategyFrontier() map[string]partcomm.Sweep {
+	out := map[string]partcomm.Sweep{}
+	for _, app := range AppNames {
+		col, _, err := s.eng.Columnar(s.models[app], s.cfg.Cluster)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %s: %v", app, err))
+		}
+		lag := analysis.LaggardsStream(col.Cursor(), s.cfg.LaggardThresholdSec)
+		grid := partcomm.Grid(s.E14StrategyTimeouts(), []float64{0.2}, lag)
+		out[app] = partcomm.SweepCursor(col.Cursor(), s.cfg.BytesPerPartition, s.cfg.Fabric, grid)
+	}
+	return out
+}
+
 // SortedApps returns the app names sorted (stable output order for
 // rendering maps).
 func SortedApps[T any](m map[string]T) []string {

@@ -126,6 +126,28 @@ func (s *Suite) WriteReport(w io.Writer) {
 			fmt.Fprintf(w, "  %s\n", r)
 		}
 	}
+
+	fmt.Fprintln(w)
+	s.WriteStrategyFrontier(w)
+}
+
+// WriteStrategyFrontier renders the E14 strategy-frontier table: every
+// strategy of the standard grid per application, with the frontier
+// (earliest mean finish and its overlap capture) called out. It is the
+// renderer behind cmd/repro -exp strategies and the E14 golden test.
+func (s *Suite) WriteStrategyFrontier(w io.Writer) {
+	fmt.Fprintln(w, "== E14: strategy frontier — adaptive delivery strategies on the cursor path ==")
+	e14 := s.E14StrategyFrontier()
+	for _, app := range AppNames {
+		sw := e14[app]
+		fmt.Fprintf(w, "%s (potential overlap %.3f ms/thread):\n", app, 1e3*sw.PotentialOverlapSec)
+		for _, r := range sw.Results {
+			fmt.Fprintf(w, "  %-24s finish %8.3f ms  overlap %8.3f ms  speedup %5.3fx  capture %5.1f%%\n",
+				r.Strategy, 1e3*r.MeanFinishSec, 1e3*r.MeanOverlapSec, r.SpeedupVsBulk, 100*r.OverlapCapture)
+		}
+		fmt.Fprintf(w, "  -> best %s: finish %.3f ms, captures %.1f%% of potential\n",
+			sw.Best, 1e3*sw.BestFinishSec, 100*sw.BestCapture)
+	}
 }
 
 func countNonZero(counts []int) int {

@@ -108,20 +108,47 @@ type Result struct {
 	MeanOverlapSec float64 `json:"mean_overlap_sec"`
 	// SpeedupVsBulk is mean bulk finish / mean strategy finish.
 	SpeedupVsBulk float64 `json:"speedup_vs_bulk"`
+	// OverlapCapture is MeanOverlapSec divided by the study's mean
+	// idealised per-thread overlap (PotentialOverlap): the fraction of
+	// the theoretically reclaimable idle time the strategy recovers.
+	// Zero when the potential is zero. Values above 1 are possible —
+	// pipelining partitions onto the link also shortens the transfer
+	// itself, a gain the per-thread idle bound does not count.
+	OverlapCapture float64 `json:"overlap_capture,omitempty"`
 }
 
 // Evaluate runs each strategy over every process iteration of the
 // dataset, with one partition per thread of bytesPerPart bytes.
+//
+// Deprecated: Evaluate is a thin adapter over the cursor-native
+// EvaluateStream — it no longer needs a materialised dataset beyond the
+// cursor the view already carries. New code should call EvaluateStream
+// (or StrategyAccumulator) on a trace.Cursor directly so no caller
+// requires the nested view at all.
 func Evaluate(d *trace.Dataset, bytesPerPart int, f network.Fabric, strategies []Strategy) []Result {
+	return EvaluateStream(d.Cursor(), bytesPerPart, f, strategies)
+}
+
+// evaluateMaterialized is the pre-cursor implementation, retained as the
+// independent reference the streaming-vs-exact agreement tests and the
+// BenchmarkStrategySweep baseline compare against.
+func evaluateMaterialized(d *trace.Dataset, bytesPerPart int, f network.Fabric, strategies []Strategy) []Result {
+	for _, s := range strategies {
+		if r, ok := s.(resettable); ok {
+			r.Reset()
+		}
+	}
 	results := make([]Result, len(strategies))
 	bulkSum := 0.0
 	finishSums := make([]float64, len(strategies))
+	potentialSum := 0.0
 	n := 0
 	bulk := Bulk{}
 	d.EachProcessIteration(func(trial, rank, iter int, xs []float64) {
 		arrivals := stats.Sorted(xs)
 		bulkFinish := bulk.FinishTime(arrivals, bytesPerPart, f)
 		bulkSum += bulkFinish
+		potentialSum += PotentialOverlap(arrivals)
 		for k, s := range strategies {
 			finishSums[k] += s.FinishTime(arrivals, bytesPerPart, f)
 		}
@@ -135,6 +162,9 @@ func Evaluate(d *trace.Dataset, bytesPerPart int, f network.Fabric, strategies [
 			r.MeanOverlapSec = meanBulk - r.MeanFinishSec
 			if r.MeanFinishSec > 0 {
 				r.SpeedupVsBulk = meanBulk / r.MeanFinishSec
+			}
+			if potential := potentialSum / float64(n); potential > 0 {
+				r.OverlapCapture = r.MeanOverlapSec / potential
 			}
 		}
 		results[k] = r

@@ -3,56 +3,58 @@ package serve
 import (
 	"container/list"
 	"sync"
-
-	"earlybird/internal/engine"
 )
 
 // coalescer is the request-collapsing layer of the service: a bounded
-// LRU cache of finished study results in front of a singleflight table
-// of in-flight executions, both keyed by the resolved spec's engine key.
-// A request first probes the cache, then either joins an identical
-// in-flight execution or becomes the executor itself; successful
-// executions populate the cache on the way out.
-type coalescer struct {
+// LRU cache of finished results in front of a singleflight table of
+// in-flight executions, both keyed by a comparable request identity. A
+// request first probes the cache, then either joins an identical
+// in-flight execution or becomes the executor itself; executions that
+// report themselves cacheable populate the cache on the way out.
+//
+// The study path keys on the resolved spec's engine.SpecKey; the
+// strategy lab keys on SpecKey plus a strategy-grid hash. Both share
+// this one implementation.
+type coalescer[K comparable, V any] struct {
 	mu       sync.Mutex
-	inflight map[engine.SpecKey]*flight
+	inflight map[K]*flight[V]
 	// LRU: entries maps keys to elements of order, whose front is the
 	// most recently used. cap <= 0 disables result caching.
 	cap     int
-	entries map[engine.SpecKey]*list.Element
+	entries map[K]*list.Element
 	order   *list.List
 }
 
 // flight is one in-flight execution; joiners block on done.
-type flight struct {
+type flight[V any] struct {
 	done chan struct{}
-	res  engine.Result
+	res  V
 }
 
 // lruItem is one cached result with its key for back-removal.
-type lruItem struct {
-	key engine.SpecKey
-	res engine.Result
+type lruItem[K comparable, V any] struct {
+	key K
+	res V
 }
 
-func newCoalescer(capacity int) *coalescer {
-	return &coalescer{
-		inflight: map[engine.SpecKey]*flight{},
+func newCoalescer[K comparable, V any](capacity int) *coalescer[K, V] {
+	return &coalescer[K, V]{
+		inflight: map[K]*flight[V]{},
 		cap:      capacity,
-		entries:  map[engine.SpecKey]*list.Element{},
+		entries:  map[K]*list.Element{},
 		order:    list.New(),
 	}
 }
 
-// do returns the result for the resolved spec, along with how it was
-// obtained. run is invoked at most once across all concurrent do calls
-// with the same key; its result is fanned out to every joiner and, when
-// error-free, cached for later requests.
-func (c *coalescer) do(key engine.SpecKey, run func() engine.Result) (engine.Result, Source) {
+// do returns the result for the key, along with how it was obtained. run
+// is invoked at most once across all concurrent do calls with the same
+// key; its result is fanned out to every joiner and — when run reports
+// it cacheable — stored for later requests.
+func (c *coalescer[K, V]) do(key K, run func() (V, bool)) (V, Source) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
-		res := el.Value.(*lruItem).res
+		res := el.Value.(*lruItem[K, V]).res
 		c.mu.Unlock()
 		return res, SourceResultCache
 	}
@@ -61,43 +63,44 @@ func (c *coalescer) do(key engine.SpecKey, run func() engine.Result) (engine.Res
 		<-f.done
 		return f.res, SourceCoalesced
 	}
-	f := &flight{done: make(chan struct{})}
+	f := &flight[V]{done: make(chan struct{})}
 	c.inflight[key] = f
 	c.mu.Unlock()
 
-	f.res = run()
+	res, cacheable := run()
+	f.res = res
 
 	c.mu.Lock()
 	delete(c.inflight, key)
-	if f.res.Err == nil {
-		c.addLocked(key, f.res)
+	if cacheable {
+		c.addLocked(key, res)
 	}
 	c.mu.Unlock()
 	close(f.done)
-	return f.res, SourceExecuted
+	return res, SourceExecuted
 }
 
 // addLocked inserts a finished result, evicting the least recently used
 // entry past capacity. Callers must hold c.mu.
-func (c *coalescer) addLocked(key engine.SpecKey, res engine.Result) {
+func (c *coalescer[K, V]) addLocked(key K, res V) {
 	if c.cap <= 0 {
 		return
 	}
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*lruItem).res = res
+		el.Value.(*lruItem[K, V]).res = res
 		c.order.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.order.PushFront(&lruItem{key: key, res: res})
+	c.entries[key] = c.order.PushFront(&lruItem[K, V]{key: key, res: res})
 	for c.order.Len() > c.cap {
 		back := c.order.Back()
 		c.order.Remove(back)
-		delete(c.entries, back.Value.(*lruItem).key)
+		delete(c.entries, back.Value.(*lruItem[K, V]).key)
 	}
 }
 
 // size returns the number of cached results.
-func (c *coalescer) size() int {
+func (c *coalescer[K, V]) size() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()

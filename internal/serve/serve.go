@@ -71,11 +71,13 @@ type Options struct {
 type Server struct {
 	opts            Options
 	eng             *engine.Engine
-	co              *coalescer
+	co              *coalescer[engine.SpecKey, engine.Result]
+	strat           *coalescer[strategyCellKey, StrategyRow]
 	mux             *http.ServeMux
 	start           time.Time
 	endpoints       map[string]*endpointStats
 	sources         sourceCounters
+	stratSources    sourceCounters
 	maxSweepSamples int
 	maxStudySamples int
 	httpSrv         *http.Server
@@ -113,7 +115,8 @@ func New(opts Options) *Server {
 	s := &Server{
 		opts:            opts,
 		eng:             eng,
-		co:              newCoalescer(maxResults),
+		co:              newCoalescer[engine.SpecKey, engine.Result](maxResults),
+		strat:           newCoalescer[strategyCellKey, StrategyRow](maxResults),
 		mux:             http.NewServeMux(),
 		start:           time.Now(),
 		endpoints:       map[string]*endpointStats{},
@@ -129,6 +132,7 @@ func New(opts Options) *Server {
 	s.route("POST", "/v1/campaign", s.handleCampaign)
 	s.route("POST", "/v1/feasibility", s.handleFeasibility)
 	s.route("POST", "/v1/sweep", s.handleSweep)
+	s.route("POST", "/v1/strategies", s.handleStrategies)
 	s.route("GET", "/v1/stats", s.handleStats)
 	s.route("GET", "/v1/healthz", s.handleHealthz)
 	return s
@@ -213,6 +217,63 @@ func (s *Server) acquire() func() {
 	return func() { <-s.sem }
 }
 
+// clampWorkers bounds one request's concurrency: the engine's worker
+// count caps it, the job count floors it.
+func (s *Server) clampWorkers(requested, jobs int) int {
+	w := requested
+	if w <= 0 || w > s.eng.Workers() {
+		w = s.eng.Workers()
+	}
+	if w > jobs {
+		w = jobs
+	}
+	return w
+}
+
+// fanOut runs fn(i) for every i in [0, n) across workers goroutines and
+// waits for all of them. The campaign, sweep and strategies handlers
+// share it as their per-request worker pool.
+func fanOut(n, workers int, fn func(int)) {
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// startNDJSON commits a streaming NDJSON response (with a cell-count
+// header) and returns a serialised emit function: one row per line,
+// flushed the moment it is written, safe to call from worker
+// goroutines.
+func startNDJSON(w http.ResponseWriter, cellsHeader string, cells int) func(any) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set(cellsHeader, fmt.Sprint(cells))
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	var mu sync.Mutex
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	return func(row any) {
+		mu.Lock()
+		defer mu.Unlock()
+		_ = enc.Encode(row) // Encode terminates each row with '\n'
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
 // runStudy resolves one wire spec and answers it through the coalescing
 // stack: LRU result cache, then singleflight join, then execution on the
 // engine (whose dataset cache is a further sharing layer underneath).
@@ -230,10 +291,10 @@ func (s *Server) runStudy(wire StudySpec) (engine.Result, Source, error) {
 			"geometry has %d samples, over the study limit %d; use /v1/sweep, whose streaming path is bounded-memory at any size",
 			n, s.maxStudySamples)
 	}
-	res, src := s.co.do(resolved.Key(), func() engine.Result {
+	res, src := s.co.do(resolved.Key(), func() (engine.Result, bool) {
 		defer s.acquire()()
 		r, _ := s.eng.RunSpec(resolved)
-		return r
+		return r, r.Err == nil
 	})
 	s.sources.count(src)
 	return res, src, res.Err
@@ -302,36 +363,16 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := CampaignResponse{Results: make([]CampaignEntry, len(req.Specs))}
-	workers := req.Workers
-	if workers <= 0 || workers > s.eng.Workers() {
-		workers = s.eng.Workers()
-	}
-	if workers > len(req.Specs) {
-		workers = len(req.Specs)
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				entry := CampaignEntry{Index: idx}
-				res, src, err := s.runStudy(req.Specs[idx])
-				if err != nil {
-					entry.Err = err.Error()
-				} else {
-					entry.StudyResponse = studyResponse(res, src)
-				}
-				resp.Results[idx] = entry
-			}
-		}()
-	}
-	for idx := range req.Specs {
-		jobs <- idx
-	}
-	close(jobs)
-	wg.Wait()
+	fanOut(len(req.Specs), s.clampWorkers(req.Workers, len(req.Specs)), func(idx int) {
+		entry := CampaignEntry{Index: idx}
+		res, src, err := s.runStudy(req.Specs[idx])
+		if err != nil {
+			entry.Err = err.Error()
+		} else {
+			entry.StudyResponse = studyResponse(res, src)
+		}
+		resp.Results[idx] = entry
+	})
 
 	for i := range resp.Results {
 		if resp.Results[i].Err != "" {
@@ -350,6 +391,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Coalesced:       s.sources.coalesced.Load(),
 			Executed:        s.sources.executed.Load(),
 			ResultCacheSize: s.co.size(),
+		},
+		Strategies: StudySourceStats{
+			ResultCacheHits: s.stratSources.lruHits.Load(),
+			Coalesced:       s.stratSources.coalesced.Load(),
+			Executed:        s.stratSources.executed.Load(),
+			ResultCacheSize: s.strat.size(),
 		},
 		Engine: EngineStats{
 			Executions:      s.eng.Executions(),

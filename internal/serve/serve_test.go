@@ -466,7 +466,7 @@ func TestCoalescerJoinsInFlight(t *testing.T) {
 	// Deterministic singleflight proof: the first caller blocks inside
 	// run until every other caller has had time to join; exactly one
 	// execution happens and everyone gets its result.
-	co := newCoalescer(8)
+	co := newCoalescer[engine.SpecKey, engine.Result](8)
 	key := mustKey(t, engine.Spec{App: "minife", Geometry: testGeom()})
 
 	const n = 6
@@ -478,11 +478,11 @@ func TestCoalescerJoinsInFlight(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		_, sources[0] = co.do(key, func() engine.Result {
+		_, sources[0] = co.do(key, func() (engine.Result, bool) {
 			close(started)
 			<-release
 			executions++
-			return engine.Result{}
+			return engine.Result{}, true
 		})
 	}()
 	<-started
@@ -490,9 +490,9 @@ func TestCoalescerJoinsInFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, sources[i] = co.do(key, func() engine.Result {
+			_, sources[i] = co.do(key, func() (engine.Result, bool) {
 				t.Error("second execution ran")
-				return engine.Result{}
+				return engine.Result{}, true
 			})
 		}(i)
 	}
@@ -513,33 +513,33 @@ func TestCoalescerJoinsInFlight(t *testing.T) {
 		}
 	}
 	// And the finished flight landed in the result cache.
-	if _, src := co.do(key, func() engine.Result {
+	if _, src := co.do(key, func() (engine.Result, bool) {
 		t.Error("cached key re-executed")
-		return engine.Result{}
+		return engine.Result{}, true
 	}); src != SourceResultCache {
 		t.Errorf("post-flight source = %q, want result-cache", src)
 	}
 }
 
 func TestCoalescerLRUEviction(t *testing.T) {
-	co := newCoalescer(2)
+	co := newCoalescer[engine.SpecKey, engine.Result](2)
 	keys := make([]engine.SpecKey, 3)
 	for i := range keys {
 		g := testGeom()
 		g.Seed = uint64(i + 1)
 		keys[i] = mustKey(t, engine.Spec{App: "minife", Geometry: g})
-		co.do(keys[i], func() engine.Result { return engine.Result{} })
+		co.do(keys[i], func() (engine.Result, bool) { return engine.Result{}, true })
 	}
 	if co.size() != 2 {
 		t.Fatalf("cache size = %d, want 2", co.size())
 	}
 	// keys[0] was evicted; keys[1] and keys[2] remain.
-	if _, src := co.do(keys[0], func() engine.Result { return engine.Result{} }); src != SourceExecuted {
+	if _, src := co.do(keys[0], func() (engine.Result, bool) { return engine.Result{}, true }); src != SourceExecuted {
 		t.Errorf("evicted key source = %q, want executed", src)
 	}
-	if _, src := co.do(keys[2], func() engine.Result {
+	if _, src := co.do(keys[2], func() (engine.Result, bool) {
 		t.Error("resident key re-executed")
-		return engine.Result{}
+		return engine.Result{}, true
 	}); src != SourceResultCache {
 		t.Errorf("resident key source = %q, want result-cache", src)
 	}

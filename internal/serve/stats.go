@@ -48,6 +48,11 @@ type StatsResponse struct {
 	// the result cache, attached to an in-flight execution, or executed.
 	Study StudySourceStats `json:"study_sources"`
 
+	// Strategies is the same breakdown for strategy-lab cells
+	// (/v1/strategies), which coalesce on SpecKey plus grid hash in
+	// their own result cache.
+	Strategies StudySourceStats `json:"strategy_sources"`
+
 	Engine EngineStats `json:"engine"`
 }
 

@@ -1,0 +1,330 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+
+	"earlybird/internal/analysis"
+	"earlybird/internal/cluster"
+	"earlybird/internal/core"
+	"earlybird/internal/engine"
+	"earlybird/internal/network"
+	"earlybird/internal/partcomm"
+	"earlybird/internal/workload"
+)
+
+// StrategiesRequest describes one strategy-lab run: a grid of (app,
+// geometry) cells, each evaluated against the same delivery-strategy
+// grid — bulk and fine-grained anchors, binned delivery at every
+// timeout, EWMA-predicted binning at every smoothing factor, the
+// IQR-switching hybrid, and a laggard-aware policy tuned per cell from
+// the measured laggard statistics. Omitted axes default to one
+// paper-default point; omitted grid parameters default to the standard
+// optimizer grid.
+type StrategiesRequest struct {
+	// Apps are the built-in application models to evaluate.
+	Apps []string `json:"apps"`
+	// Geometries and GeometryNames together form the geometry axis; a
+	// zero geometry entry means the paper's. Both empty means one
+	// paper-geometry point.
+	Geometries    []cluster.Config `json:"geometries,omitempty"`
+	GeometryNames []string         `json:"geometry_names,omitempty"`
+	// BytesPerPartition sizes the partitions (one per thread); omitted
+	// means 1 MiB.
+	BytesPerPartition int `json:"bytes_per_partition,omitempty"`
+	// Fabric overrides the interconnect model; omitted means the
+	// paper's Omni-Path parameters.
+	Fabric *network.Fabric `json:"fabric,omitempty"`
+	// TimeoutsSec is the binned-delivery timeout axis; empty means the
+	// standard grid (0.25, 0.5, 1, 2 ms).
+	TimeoutsSec []float64 `json:"timeouts_sec,omitempty"`
+	// EWMAAlphas is the EWMA-binning smoothing axis; empty means [0.2].
+	EWMAAlphas []float64 `json:"ewma_alphas,omitempty"`
+	// LaggardThresholdSec tunes the laggard statistics feeding the
+	// laggard-aware strategy; omitted means the paper's 1 ms rule.
+	LaggardThresholdSec float64 `json:"laggard_threshold_sec,omitempty"`
+	// Stream switches the response to NDJSON: one StrategyRow per line,
+	// written as each cell completes.
+	Stream bool `json:"stream,omitempty"`
+	// Workers bounds how many cells run concurrently; omitted or <= 0
+	// uses the engine's bound.
+	Workers int `json:"workers,omitempty"`
+}
+
+// StrategyRow is one (app, geometry) cell's outcome: the per-strategy
+// results plus the frontier, computed entirely on the columnar cursor
+// path.
+type StrategyRow struct {
+	Index             int            `json:"index"`
+	App               string         `json:"app"`
+	Geometry          cluster.Config `json:"geometry"`
+	BytesPerPartition int            `json:"bytes_per_partition"`
+	partcomm.Sweep
+	// Source reports which layer answered: result-cache, coalesced or
+	// executed (set on JSON and NDJSON rows alike).
+	Source Source `json:"source,omitempty"`
+	// DatasetCacheHit reports the evaluation read an engine-cached
+	// columnar store rather than generating one (meaningful for
+	// executed rows).
+	DatasetCacheHit bool   `json:"dataset_cache_hit"`
+	Err             string `json:"error,omitempty"`
+}
+
+// StrategiesResponse is the JSON-mode /v1/strategies reply: one row per
+// cell, in grid order. Per-cell failures carry an error string; the
+// other rows are still valid.
+type StrategiesResponse struct {
+	Rows   []StrategyRow `json:"rows"`
+	Failed int           `json:"failed"`
+}
+
+// strategyCellKey identifies one cell's fully resolved evaluation for
+// coalescing: the engine spec key (app, geometry, partition size,
+// fabric) plus a hash of the strategy grid.
+type strategyCellKey struct {
+	spec engine.SpecKey
+	grid uint64
+}
+
+// stratConfig is the request's resolved, cell-invariant configuration.
+type stratConfig struct {
+	bytesPerPartition int
+	fabric            network.Fabric
+	timeoutsSec       []float64
+	ewmaAlphas        []float64
+	laggardThreshold  float64
+	gridHash          uint64
+}
+
+// stratCell is one expanded grid cell.
+type stratCell struct {
+	index int
+	app   string
+	geom  cluster.Config
+}
+
+// resolve fills the request's defaults and hashes the strategy grid.
+func (req StrategiesRequest) resolve() (stratConfig, error) {
+	cfg := stratConfig{
+		bytesPerPartition: req.BytesPerPartition,
+		timeoutsSec:       req.TimeoutsSec,
+		ewmaAlphas:        req.EWMAAlphas,
+		laggardThreshold:  req.LaggardThresholdSec,
+		fabric:            network.OmniPath(),
+	}
+	if cfg.bytesPerPartition == 0 {
+		cfg.bytesPerPartition = 1 << 20
+	}
+	if cfg.bytesPerPartition < 0 {
+		return cfg, fmt.Errorf("bytes_per_partition must be positive")
+	}
+	if req.Fabric != nil {
+		if err := req.Fabric.Validate(); err != nil {
+			return cfg, err
+		}
+		cfg.fabric = *req.Fabric
+	}
+	if len(cfg.timeoutsSec) == 0 {
+		cfg.timeoutsSec = core.DefaultStrategyTimeoutsSec()
+	}
+	for _, t := range cfg.timeoutsSec {
+		if t <= 0 {
+			return cfg, fmt.Errorf("timeouts_sec entries must be positive, got %g", t)
+		}
+	}
+	if len(cfg.ewmaAlphas) == 0 {
+		cfg.ewmaAlphas = core.DefaultStrategyEWMAAlphas()
+	}
+	for _, a := range cfg.ewmaAlphas {
+		if a <= 0 || a > 1 {
+			return cfg, fmt.Errorf("ewma_alphas entries must be in (0, 1], got %g", a)
+		}
+	}
+	if cfg.laggardThreshold == 0 {
+		cfg.laggardThreshold = analysis.DefaultLaggardThresholdSec
+	}
+	if cfg.laggardThreshold < 0 {
+		return cfg, fmt.Errorf("laggard_threshold_sec must be positive")
+	}
+	cfg.gridHash = cfg.hash()
+	return cfg, nil
+}
+
+// hash folds the strategy-grid parameters into an FNV-1a value — the
+// grid half of the coalescing key. (The app/geometry/partition/fabric
+// half lives in the engine SpecKey.)
+func (cfg stratConfig) hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	u64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	u64(uint64(len(cfg.timeoutsSec)))
+	for _, t := range cfg.timeoutsSec {
+		u64(math.Float64bits(t))
+	}
+	u64(uint64(len(cfg.ewmaAlphas)))
+	for _, a := range cfg.ewmaAlphas {
+		u64(math.Float64bits(a))
+	}
+	u64(math.Float64bits(cfg.laggardThreshold))
+	return h
+}
+
+// expand builds the (app, geometry) cell grid in app-major order.
+func (req StrategiesRequest) expand() ([]stratCell, error) {
+	if len(req.Apps) == 0 {
+		return nil, fmt.Errorf("strategies request needs at least one app")
+	}
+	geoms := make([]cluster.Config, 0, len(req.Geometries)+len(req.GeometryNames))
+	for _, g := range req.Geometries {
+		geoms = append(geoms, defaultedGeometry(g))
+	}
+	for _, name := range req.GeometryNames {
+		g, err := namedGeometry(name)
+		if err != nil {
+			return nil, err
+		}
+		geoms = append(geoms, g)
+	}
+	if len(geoms) == 0 {
+		geoms = []cluster.Config{cluster.DefaultConfig()}
+	}
+	n := len(req.Apps) * len(geoms)
+	if n > maxSweepCells {
+		return nil, fmt.Errorf("strategy grid has %d cells, limit %d", n, maxSweepCells)
+	}
+	cells := make([]stratCell, 0, n)
+	for _, app := range req.Apps {
+		for _, g := range geoms {
+			cells = append(cells, stratCell{index: len(cells), app: app, geom: g})
+		}
+	}
+	return cells, nil
+}
+
+// cellKey resolves one cell to its coalescing key. The engine spec
+// carries app, geometry, partition size and fabric; analysis parameters
+// that do not affect the strategy evaluation stay at their defaults so
+// equal cells key equally.
+func (s *Server) cellKey(c stratCell, cfg stratConfig) (strategyCellKey, error) {
+	sp := engine.Spec{
+		App:               c.app,
+		Geometry:          c.geom,
+		BytesPerPartition: cfg.bytesPerPartition,
+		Fabric:            cfg.fabric,
+	}
+	resolved, err := sp.Resolve()
+	if err != nil {
+		return strategyCellKey{}, err
+	}
+	return strategyCellKey{spec: resolved.Key(), grid: cfg.gridHash}, nil
+}
+
+// strategyCell evaluates one cell on the columnar cursor path: laggard
+// statistics stream first (tuning the laggard-aware policy), then every
+// strategy evaluates in a single cursor pass. The nested tensor view is
+// never built.
+func (s *Server) strategyCell(c stratCell, cfg stratConfig) StrategyRow {
+	row := StrategyRow{
+		Index:             c.index,
+		App:               c.app,
+		Geometry:          c.geom,
+		BytesPerPartition: cfg.bytesPerPartition,
+	}
+	if err := c.geom.Validate(); err != nil {
+		row.Err = err.Error()
+		return row
+	}
+	if n := c.geom.Samples(); n > s.maxStudySamples {
+		row.Err = fmt.Sprintf("geometry has %d samples, over the strategy-evaluation limit %d", n, s.maxStudySamples)
+		return row
+	}
+	model, err := workload.ByName(c.app)
+	if err != nil {
+		row.Err = err.Error()
+		return row
+	}
+	col, hit, err := s.eng.Columnar(model, c.geom)
+	if err != nil {
+		row.Err = err.Error()
+		return row
+	}
+	row.DatasetCacheHit = hit
+	lag := analysis.LaggardsStream(col.Cursor(), cfg.laggardThreshold)
+	grid := partcomm.Grid(cfg.timeoutsSec, cfg.ewmaAlphas, lag)
+	row.Sweep = partcomm.SweepCursor(col.Cursor(), cfg.bytesPerPartition, cfg.fabric, grid)
+	return row
+}
+
+// runStrategyCell answers one cell through the coalescing stack: LRU
+// result cache, then singleflight join, then execution under the
+// server's worker semaphore.
+func (s *Server) runStrategyCell(c stratCell, cfg stratConfig) StrategyRow {
+	key, err := s.cellKey(c, cfg)
+	if err != nil {
+		return StrategyRow{Index: c.index, App: c.app, Geometry: c.geom,
+			BytesPerPartition: cfg.bytesPerPartition, Err: err.Error()}
+	}
+	row, src := s.strat.do(key, func() (StrategyRow, bool) {
+		defer s.acquire()()
+		r := s.strategyCell(c, cfg)
+		return r, r.Err == ""
+	})
+	s.stratSources.count(src)
+	// Cached and coalesced answers echo the original execution's row;
+	// re-stamp the identity fields that belong to this request.
+	row.Index = c.index
+	row.Source = src
+	return row
+}
+
+// handleStrategies answers POST /v1/strategies: a JSON reply with every
+// cell in grid order, or — with "stream": true — NDJSON rows written and
+// flushed as cells complete.
+func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
+	var req StrategiesRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg, err := req.resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cells, err := req.expand()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	workers := s.clampWorkers(req.Workers, len(cells))
+	if req.Stream {
+		emit := startNDJSON(w, "X-Strategy-Cells", len(cells))
+		fanOut(len(cells), workers, func(i int) {
+			emit(s.runStrategyCell(cells[i], cfg))
+		})
+		return
+	}
+
+	rows := make([]StrategyRow, len(cells))
+	fanOut(len(cells), workers, func(i int) {
+		rows[i] = s.runStrategyCell(cells[i], cfg)
+	})
+	resp := StrategiesResponse{Rows: rows}
+	for i := range rows {
+		if rows[i].Err != "" {
+			resp.Failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

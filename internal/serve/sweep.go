@@ -1,10 +1,8 @@
 package serve
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/http"
-	"sync"
 
 	"earlybird/internal/analysis"
 	"earlybird/internal/cluster"
@@ -178,47 +176,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.Header().Set("X-Sweep-Cells", fmt.Sprint(len(cells)))
-	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-
-	var writeMu sync.Mutex
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	emit := func(row SweepRow) {
-		writeMu.Lock()
-		defer writeMu.Unlock()
-		_ = enc.Encode(row) // Encode terminates each row with '\n'
-		if flusher != nil {
-			flusher.Flush()
-		}
-	}
-
-	workers := req.Workers
-	if workers <= 0 || workers > s.eng.Workers() {
-		workers = s.eng.Workers()
-	}
-	if workers > len(cells) {
-		workers = len(cells)
-	}
-	jobs := make(chan sweepCellSpec)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for c := range jobs {
-				release := s.acquire()
-				row := s.sweepCell(c)
-				release()
-				emit(row)
-			}
-		}()
-	}
-	for _, c := range cells {
-		jobs <- c
-	}
-	close(jobs)
-	wg.Wait()
+	emit := startNDJSON(w, "X-Sweep-Cells", len(cells))
+	fanOut(len(cells), s.clampWorkers(req.Workers, len(cells)), func(i int) {
+		release := s.acquire()
+		row := s.sweepCell(cells[i])
+		release()
+		emit(row)
+	})
 }
