@@ -23,8 +23,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -44,50 +46,58 @@ var binWidths = map[string]float64{
 }
 
 func main() {
-	var (
-		in          = flag.String("in", "", "input dataset (JSON from threadtime); more may follow as arguments")
-		alpha       = flag.Float64("alpha", normality.DefaultAlpha, "normality significance level")
-		laggardMs   = flag.Float64("laggard-ms", 1.0, "laggard threshold in milliseconds")
-		workers     = flag.Int("workers", 0, "max concurrently analysed datasets (0 = one per CPU)")
-		percentiles = flag.String("percentiles", "", "write per-iteration percentile CSV to this file (single input)")
-		histWidth   = flag.String("hist", "", "render application histogram with this bin width (10us|50us|1ms; single input)")
-		timeline    = flag.String("timeline", "", "write per-iteration laggard-count CSV to this file (single input)")
-
-		app     = flag.String("app", "", "generate and analyse this application model as a stream instead of reading files")
-		trials  = flag.Int("trials", 0, "streaming geometry: trials (0 = paper's 10)")
-		ranks   = flag.Int("ranks", 0, "streaming geometry: ranks (0 = paper's 8)")
-		iters   = flag.Int("iters", 0, "streaming geometry: iterations (0 = paper's 200)")
-		threads = flag.Int("threads", 0, "streaming geometry: threads (0 = paper's 48)")
-		seed    = flag.Uint64("seed", 0, "streaming geometry: master seed (0 = 1)")
-	)
-	flag.Parse()
-
-	files := flag.Args()
-	if *in != "" {
-		files = append([]string{*in}, files...)
-	}
-	var err error
-	if *app != "" {
-		switch {
-		case len(files) > 0:
-			err = fmt.Errorf("-app streams a generated study and cannot be combined with input files")
-		case *percentiles != "" || *histWidth != "" || *timeline != "":
-			err = fmt.Errorf("-percentiles, -hist and -timeline need a materialised dataset and cannot be combined with -app")
-		default:
-			err = runStreaming(*app, *trials, *ranks, *iters, *threads, *seed, *alpha, *laggardMs*1e-3)
-		}
-	} else {
-		err = run(files, *alpha, *laggardMs*1e-3, *workers, *percentiles, *histWidth, *timeline)
-	}
-	if err != nil {
+	if err := runMain(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
 	}
 }
 
+// runMain parses flags and routes to the campaign or streaming path.
+func runMain(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in          = fs.String("in", "", "input dataset (JSON from threadtime); more may follow as arguments")
+		alpha       = fs.Float64("alpha", normality.DefaultAlpha, "normality significance level")
+		laggardMs   = fs.Float64("laggard-ms", 1.0, "laggard threshold in milliseconds")
+		workers     = fs.Int("workers", 0, "max concurrently analysed datasets (0 = one per CPU)")
+		percentiles = fs.String("percentiles", "", "write per-iteration percentile CSV to this file (single input)")
+		histWidth   = fs.String("hist", "", "render application histogram with this bin width (10us|50us|1ms; single input)")
+		timeline    = fs.String("timeline", "", "write per-iteration laggard-count CSV to this file (single input)")
+
+		app     = fs.String("app", "", "generate and analyse this application model as a stream instead of reading files")
+		trials  = fs.Int("trials", 0, "streaming geometry: trials (0 = paper's 10)")
+		ranks   = fs.Int("ranks", 0, "streaming geometry: ranks (0 = paper's 8)")
+		iters   = fs.Int("iters", 0, "streaming geometry: iterations (0 = paper's 200)")
+		threads = fs.Int("threads", 0, "streaming geometry: threads (0 = paper's 48)")
+		seed    = fs.Uint64("seed", 0, "streaming geometry: master seed (0 = 1)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage was printed, not a failure
+		}
+		return err
+	}
+
+	files := fs.Args()
+	if *in != "" {
+		files = append([]string{*in}, files...)
+	}
+	if *app != "" {
+		switch {
+		case len(files) > 0:
+			return fmt.Errorf("-app streams a generated study and cannot be combined with input files")
+		case *percentiles != "" || *histWidth != "" || *timeline != "":
+			return fmt.Errorf("-percentiles, -hist and -timeline need a materialised dataset and cannot be combined with -app")
+		}
+		return runStreaming(stdout, *app, *trials, *ranks, *iters, *threads, *seed, *alpha, *laggardMs*1e-3)
+	}
+	return run(stdout, files, *alpha, *laggardMs*1e-3, *workers, *percentiles, *histWidth, *timeline)
+}
+
 // runStreaming generates the model study online and prints the streaming
 // analysis; the dataset is never materialised.
-func runStreaming(app string, trials, ranks, iters, threads int, seed uint64, alpha, laggardSec float64) error {
+func runStreaming(w io.Writer, app string, trials, ranks, iters, threads int, seed uint64, alpha, laggardSec float64) error {
 	geom := cluster.DefaultConfig()
 	if trials > 0 {
 		geom.Trials = trials
@@ -104,7 +114,7 @@ func runStreaming(app string, trials, ranks, iters, threads int, seed uint64, al
 	if seed > 0 {
 		geom.Seed = seed
 	}
-	fmt.Printf("streaming %s: %d trials x %d ranks x %d iterations x %d threads (%d samples, never materialised)\n",
+	fmt.Fprintf(w, "streaming %s: %d trials x %d ranks x %d iterations x %d threads (%d samples, never materialised)\n",
 		app, geom.Trials, geom.Ranks, geom.Iterations, geom.Threads,
 		geom.Trials*geom.Ranks*geom.Iterations*geom.Threads)
 	res, err := core.StreamStudy(core.Options{
@@ -116,15 +126,15 @@ func runStreaming(app string, trials, ranks, iters, threads int, seed uint64, al
 	if err != nil {
 		return err
 	}
-	fmt.Println(res.Metrics)
-	fmt.Println(res.Table1)
+	fmt.Fprintln(w, res.Metrics)
+	fmt.Fprintln(w, res.Table1)
 	s := res.Summary()
-	fmt.Printf("summary: mean %.3f ms, stddev %.3f ms, p5 %.3f ms, median %.3f ms, p95 %.3f ms, max %.3f ms\n",
+	fmt.Fprintf(w, "summary: mean %.3f ms, stddev %.3f ms, p5 %.3f ms, median %.3f ms, p95 %.3f ms, max %.3f ms\n",
 		1e3*s.Mean, 1e3*s.StdDev, 1e3*s.P5, 1e3*s.Median, 1e3*s.P95, 1e3*s.Max)
 	return nil
 }
 
-func run(files []string, alpha, laggardSec float64, workers int, percentilesOut, histWidth, timelineOut string) error {
+func run(w io.Writer, files []string, alpha, laggardSec float64, workers int, percentilesOut, histWidth, timelineOut string) error {
 	if len(files) == 0 {
 		return fmt.Errorf("at least one input file is required (-in or arguments)")
 	}
@@ -153,18 +163,18 @@ func run(files []string, alpha, laggardSec float64, workers int, percentilesOut,
 		if err != nil {
 			return err
 		}
-		return renderDetailed(results[0], alpha, laggardSec, percentilesOut, histWidth, timelineOut)
+		return renderDetailed(w, results[0], alpha, laggardSec, percentilesOut, histWidth, timelineOut)
 	}
 	for i, r := range results {
 		if r.Err != nil {
-			fmt.Printf("%s FAILED: %v\n", files[i], r.Err)
+			fmt.Fprintf(w, "%s FAILED: %v\n", files[i], r.Err)
 			continue
 		}
 		ds := r.Study.Dataset()
-		fmt.Printf("%s — %s: %d trials x %d ranks x %d iterations x %d threads\n",
+		fmt.Fprintf(w, "%s — %s: %d trials x %d ranks x %d iterations x %d threads\n",
 			files[i], ds.App, ds.Trials, ds.Ranks, ds.Iterations, ds.Threads)
-		fmt.Printf("  %v\n  %v\n", r.Metrics, r.Table1)
-		fmt.Printf("  %s", r.Assessment)
+		fmt.Fprintf(w, "  %v\n  %v\n", r.Metrics, r.Table1)
+		fmt.Fprintf(w, "  %s", r.Assessment)
 	}
 	return err
 }
@@ -178,40 +188,40 @@ func readDataset(name string) (*trace.Dataset, error) {
 	return trace.ReadJSON(f)
 }
 
-func renderDetailed(r engine.Result, alpha, laggardSec float64, percentilesOut, histWidth, timelineOut string) error {
+func renderDetailed(w io.Writer, r engine.Result, alpha, laggardSec float64, percentilesOut, histWidth, timelineOut string) error {
 	ds := r.Study.Dataset()
-	fmt.Printf("dataset %s: %d trials x %d ranks x %d iterations x %d threads (%d samples)\n",
+	fmt.Fprintf(w, "dataset %s: %d trials x %d ranks x %d iterations x %d threads (%d samples)\n",
 		ds.App, ds.Trials, ds.Ranks, ds.Iterations, ds.Threads, ds.NumSamples())
 
-	fmt.Println("\n-- application-level normality --")
+	fmt.Fprintln(w, "\n-- application-level normality --")
 	for _, res := range analysis.ApplicationLevelNormality(ds, alpha) {
-		fmt.Printf("%-18s stat %10.4f  p %.3g  reject=%v\n", res.Test, res.Statistic, res.PValue, res.RejectNormal)
+		fmt.Fprintf(w, "%-18s stat %10.4f  p %.3g  reject=%v\n", res.Test, res.Statistic, res.PValue, res.RejectNormal)
 	}
 
-	fmt.Println("\n-- application-iteration normality --")
+	fmt.Fprintln(w, "\n-- application-iteration normality --")
 	ai := analysis.ApplicationIterationNormality(ds, alpha)
 	for _, t := range normality.Tests {
-		fmt.Printf("%-18s passed %d/%d iterations\n", t, ai.Passed[t], ai.Total)
+		fmt.Fprintf(w, "%-18s passed %d/%d iterations\n", t, ai.Passed[t], ai.Total)
 	}
 
-	fmt.Println("\n-- process-iteration normality (Table 1 row) --")
-	fmt.Println(r.Table1)
+	fmt.Fprintln(w, "\n-- process-iteration normality (Table 1 row) --")
+	fmt.Fprintln(w, r.Table1)
 
-	fmt.Println("\n-- laggards and idle metrics --")
+	fmt.Fprintln(w, "\n-- laggards and idle metrics --")
 	st := r.Study.Laggards()
-	fmt.Printf("laggard iterations: %d/%d (%.1f%%), mean magnitude %.2f ms\n",
+	fmt.Fprintf(w, "laggard iterations: %d/%d (%.1f%%), mean magnitude %.2f ms\n",
 		st.WithLaggard, st.Total, 100*st.Fraction, 1e3*st.MeanMagnitudeSec)
-	fmt.Println(r.Metrics)
+	fmt.Fprintln(w, r.Metrics)
 
-	fmt.Println("\n-- early-bird feasibility --")
-	fmt.Print(r.Assessment)
+	fmt.Fprintln(w, "\n-- early-bird feasibility --")
+	fmt.Fprint(w, r.Assessment)
 
 	if percentilesOut != "" {
 		ps := r.Study.Percentiles()
 		if err := os.WriteFile(percentilesOut, []byte(ps.CSV(1e-3)), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("\npercentile series written to %s (milliseconds)\n", percentilesOut)
+		fmt.Fprintf(w, "\npercentile series written to %s (milliseconds)\n", percentilesOut)
 	}
 
 	if timelineOut != "" {
@@ -219,12 +229,12 @@ func renderDetailed(r engine.Result, alpha, laggardSec float64, percentilesOut, 
 		if err := os.WriteFile(timelineOut, []byte(tl.CSV()), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("\nlaggard timeline written to %s (%d/%d iterations active, burstiness %.2f)\n",
+		fmt.Fprintf(w, "\nlaggard timeline written to %s (%d/%d iterations active, burstiness %.2f)\n",
 			timelineOut, tl.ActiveIterations(), ds.Iterations, tl.Burstiness())
 	}
 
 	if histWidth != "" {
-		w, ok := binWidths[histWidth]
+		width, ok := binWidths[histWidth]
 		if !ok {
 			names := make([]string, 0, len(binWidths))
 			for n := range binWidths {
@@ -233,9 +243,9 @@ func renderDetailed(r engine.Result, alpha, laggardSec float64, percentilesOut, 
 			sort.Strings(names)
 			return fmt.Errorf("unknown bin width %q (want one of %v)", histWidth, names)
 		}
-		h := r.Study.Histogram(w)
-		fmt.Printf("\n-- application histogram (%s bins, peak %.2f ms) --\n", histWidth, 1e3*h.Peak())
-		fmt.Print(h.Render(40, 1e-3, "ms"))
+		h := r.Study.Histogram(width)
+		fmt.Fprintf(w, "\n-- application histogram (%s bins, peak %.2f ms) --\n", histWidth, 1e3*h.Peak())
+		fmt.Fprint(w, h.Render(40, 1e-3, "ms"))
 	}
 	return nil
 }

@@ -13,6 +13,7 @@
 //	earlybird -in fe.json -part-bytes 262144 -bin-timeout-ms 0.5
 //	earlybird -app minife -remote http://localhost:8080   # ask a running earlybirdd
 //	earlybird -app miniqmc -strategies                    # full strategy-grid optimizer
+//	earlybird -app minife -fleet http://h1:8080,http://h2:8080   # federate across workers
 //
 // With -remote the assessment is requested from a running earlybirdd
 // study service (POST /v1/feasibility) instead of computed in-process,
@@ -24,19 +25,29 @@
 // binned timeouts, EWMA-predicted binning, IQR-switching hybrid, tuned
 // laggard-aware) evaluated on the cursor path, rendered as a frontier
 // table. Combined with -remote it asks POST /v1/strategies instead.
+//
+// With -fleet (a comma-separated list of earlybirdd worker URLs) the
+// study is federated: trial shards execute on the workers over
+// /v1/shard and merge client-side into results provably equal to
+// single-node execution. -fleet -strategies dispatches strategy cells
+// whole to their rendezvous workers instead.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"slices"
 
 	"earlybird/internal/cluster"
 	"earlybird/internal/core"
+	"earlybird/internal/fleet"
 	"earlybird/internal/network"
 	"earlybird/internal/partcomm"
 	"earlybird/internal/serve"
@@ -44,59 +55,167 @@ import (
 )
 
 func main() {
-	var (
-		app        = flag.String("app", "", "built-in application (minife|minimd|miniqmc)")
-		in         = flag.String("in", "", "dataset JSON (alternative to -app)")
-		partBytes  = flag.Int("part-bytes", 1<<20, "bytes per partition (one partition per thread)")
-		timeoutMs  = flag.Float64("bin-timeout-ms", 1.0, "binned-strategy flush timeout (ms)")
-		trials     = flag.Int("trials", 3, "trials when running a built-in app")
-		iters      = flag.Int("iters", 60, "iterations when running a built-in app")
-		latencyUs  = flag.Float64("latency-us", 1.0, "fabric latency (us)")
-		bwGBs      = flag.Float64("bandwidth-gbs", 12.5, "fabric bandwidth (GB/s)")
-		remote     = flag.String("remote", "", "base URL of a running earlybirdd (assess via the service instead of in-process)")
-		strategies = flag.Bool("strategies", false, "sweep the full delivery-strategy grid (optimizer frontier) instead of the three-strategy assessment")
-	)
-	flag.Parse()
-
-	var err error
-	if *remote != "" {
-		switch {
-		case *in != "":
-			err = fmt.Errorf("-remote cannot assess a local dataset (-in); datasets do not travel over the wire")
-		case *app == "":
-			err = fmt.Errorf("-remote requires -app")
-		case *strategies:
-			err = runRemoteStrategies(*remote, *app, *partBytes, *trials, *iters, *latencyUs*1e-6, *bwGBs*1e9)
-		default:
-			err = runRemote(*remote, *app, *partBytes, *timeoutMs*1e-3, *trials, *iters, *latencyUs*1e-6, *bwGBs*1e9)
-		}
-	} else {
-		err = run(*app, *in, *partBytes, *timeoutMs*1e-3, *trials, *iters, *latencyUs*1e-6, *bwGBs*1e9, *strategies)
-	}
-	if err != nil {
+	if err := runMain(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "earlybird:", err)
 		os.Exit(1)
 	}
 }
 
+// runMain parses flags and routes to the local, remote or fleet path.
+func runMain(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("earlybird", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		app        = fs.String("app", "", "built-in application (minife|minimd|miniqmc)")
+		in         = fs.String("in", "", "dataset JSON (alternative to -app)")
+		partBytes  = fs.Int("part-bytes", 1<<20, "bytes per partition (one partition per thread)")
+		timeoutMs  = fs.Float64("bin-timeout-ms", 1.0, "binned-strategy flush timeout (ms)")
+		trials     = fs.Int("trials", 3, "trials when running a built-in app")
+		iters      = fs.Int("iters", 60, "iterations when running a built-in app")
+		latencyUs  = fs.Float64("latency-us", 1.0, "fabric latency (us)")
+		bwGBs      = fs.Float64("bandwidth-gbs", 12.5, "fabric bandwidth (GB/s)")
+		remote     = fs.String("remote", "", "base URL of a running earlybirdd (assess via the service instead of in-process)")
+		fleetCSV   = fs.String("fleet", "", "comma-separated earlybirdd worker URLs: federate the study across them (shards merged client-side)")
+		strategies = fs.Bool("strategies", false, "sweep the full delivery-strategy grid (optimizer frontier) instead of the three-strategy assessment")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage was printed, not a failure
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	switch {
+	case *remote != "" && *fleetCSV != "":
+		return fmt.Errorf("-remote and -fleet are mutually exclusive: a fleet is a set of remotes")
+	case *fleetCSV != "":
+		switch {
+		case *in != "":
+			return fmt.Errorf("-fleet cannot assess a local dataset (-in); datasets do not travel over the wire")
+		case *app == "":
+			return fmt.Errorf("-fleet requires -app")
+		}
+		if !*strategies {
+			// The federated sweep path reports streaming metrics and the
+			// classifier verdict — it has no fabric or partition inputs,
+			// so explicitly-set feasibility flags would be silently
+			// dropped. Refuse instead of misleading.
+			for _, name := range []string{"bin-timeout-ms", "part-bytes", "latency-us", "bandwidth-gbs"} {
+				if set[name] {
+					return fmt.Errorf("-%s has no effect on the federated sweep path; combine it with -fleet -strategies, or use -remote for the fabric-based feasibility assessment", name)
+				}
+			}
+		}
+		return runFleet(stdout, *fleetCSV, *app, *strategies, *partBytes, binTimeouts(set, *timeoutMs), *trials, *iters, *latencyUs*1e-6, *bwGBs*1e9)
+	case *remote != "":
+		switch {
+		case *in != "":
+			return fmt.Errorf("-remote cannot assess a local dataset (-in); datasets do not travel over the wire")
+		case *app == "":
+			return fmt.Errorf("-remote requires -app")
+		case *strategies:
+			return runRemoteStrategies(stdout, *remote, *app, *partBytes, binTimeouts(set, *timeoutMs), *trials, *iters, *latencyUs*1e-6, *bwGBs*1e9)
+		}
+		return runRemote(stdout, *remote, *app, *partBytes, *timeoutMs*1e-3, *trials, *iters, *latencyUs*1e-6, *bwGBs*1e9)
+	}
+	return run(stdout, *app, *in, *partBytes, *timeoutMs*1e-3, *trials, *iters, *latencyUs*1e-6, *bwGBs*1e9, *strategies)
+}
+
+// cliGeometry is the geometry the CLI's -trials/-iters flags describe.
+func cliGeometry(trials, iters int) cluster.Config {
+	return cluster.Config{Trials: trials, Ranks: 8, Iterations: iters, Threads: 48, Seed: 1}
+}
+
+// binTimeouts maps an explicitly-set -bin-timeout-ms onto the strategy
+// grid's timeout axis; left at its default, nil selects the standard
+// optimizer grid.
+func binTimeouts(set map[string]bool, timeoutMs float64) []float64 {
+	if set["bin-timeout-ms"] {
+		return []float64{timeoutMs * 1e-3}
+	}
+	return nil
+}
+
 // printSweep renders one strategy-lab sweep as a frontier table.
-func printSweep(app string, sw partcomm.Sweep) {
-	fmt.Printf("%s: potential overlap %.3f ms/thread\n", app, 1e3*sw.PotentialOverlapSec)
+func printSweep(w io.Writer, app string, sw partcomm.Sweep) {
+	fmt.Fprintf(w, "%s: potential overlap %.3f ms/thread\n", app, 1e3*sw.PotentialOverlapSec)
 	for _, r := range sw.Results {
-		fmt.Printf("  %-24s finish %8.3f ms  overlap %8.3f ms  speedup %5.3fx  capture %5.1f%%\n",
+		fmt.Fprintf(w, "  %-24s finish %8.3f ms  overlap %8.3f ms  speedup %5.3fx  capture %5.1f%%\n",
 			r.Strategy, 1e3*r.MeanFinishSec, 1e3*r.MeanOverlapSec, r.SpeedupVsBulk, 100*r.OverlapCapture)
 	}
-	fmt.Printf("  -> best %s: finish %.3f ms, captures %.1f%% of potential\n",
+	fmt.Fprintf(w, "  -> best %s: finish %.3f ms, captures %.1f%% of potential\n",
 		sw.Best, 1e3*sw.BestFinishSec, 100*sw.BestCapture)
+}
+
+// runFleet federates the study (or the strategy sweep) across a fleet of
+// workers and renders the merged result.
+func runFleet(w io.Writer, peersCSV, app string, strategies bool, partBytes int, timeoutsSec []float64, trials, iters int, latencySec, bwBps float64) error {
+	fl, err := fleet.New(fleet.Options{Peers: fleet.SplitPeers(peersCSV)})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if healthy := fl.Probe(ctx); healthy == 0 {
+		return fmt.Errorf("no healthy workers among %v", fl.Workers())
+	}
+	geom := cliGeometry(trials, iters)
+
+	if strategies {
+		req := serve.StrategiesRequest{
+			Apps:              []string{app},
+			Geometries:        []cluster.Config{geom},
+			BytesPerPartition: partBytes,
+			TimeoutsSec:       timeoutsSec,
+			Fabric:            &network.Fabric{LatencySec: latencySec, BandwidthBytesPerSec: bwBps, OverheadSec: 0.3e-6},
+		}
+		var rows []serve.StrategyRow
+		if err := fl.Strategies(ctx, req, func(r serve.StrategyRow) { rows = append(rows, r) }); err != nil {
+			return err
+		}
+		// Strategy cells dispatch whole: each row ran on exactly one
+		// rendezvous worker of the fleet.
+		fmt.Fprintf(w, "federated strategy grid over fleet of %d healthy workers\n", fl.Healthy())
+		for _, row := range rows {
+			if row.Err != "" {
+				return fmt.Errorf("fleet: %s", row.Err)
+			}
+			printSweep(w, row.App, row.Sweep)
+		}
+		return nil
+	}
+
+	req := serve.SweepRequest{Apps: []string{app}, Geometries: []cluster.Config{geom}}
+	var rows []serve.SweepRow
+	if err := fl.Sweep(ctx, req, func(r serve.SweepRow) { rows = append(rows, r) }); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if row.Err != "" {
+			return fmt.Errorf("fleet: %s", row.Err)
+		}
+		workers := slices.Compact(slices.Sorted(slices.Values(row.ShardWorkers)))
+		fmt.Fprintf(w, "federated %s as %d trial shards over %d workers\n", row.App, row.Shards, len(workers))
+		fmt.Fprintln(w, row.Metrics)
+		fmt.Fprintln(w, row.Table1)
+		fmt.Fprintf(w, "recommendation: %s\n", row.Recommendation)
+	}
+	return nil
 }
 
 // runRemoteStrategies asks a running study service for the optimizer
 // sweep (POST /v1/strategies, single cell, JSON mode).
-func runRemoteStrategies(base, app string, partBytes, trials, iters int, latencySec, bwBps float64) error {
+func runRemoteStrategies(w io.Writer, base, app string, partBytes int, timeoutsSec []float64, trials, iters int, latencySec, bwBps float64) error {
 	req := serve.StrategiesRequest{
 		Apps:              []string{app},
-		Geometries:        []cluster.Config{{Trials: trials, Ranks: 8, Iterations: iters, Threads: 48, Seed: 1}},
+		Geometries:        []cluster.Config{cliGeometry(trials, iters)},
 		BytesPerPartition: partBytes,
+		TimeoutsSec:       timeoutsSec,
 		Fabric:            &network.Fabric{LatencySec: latencySec, BandwidthBytesPerSec: bwBps, OverheadSec: 0.3e-6},
 	}
 	body, err := json.Marshal(req)
@@ -120,17 +239,18 @@ func runRemoteStrategies(base, app string, partBytes, trials, iters int, latency
 		if row.Err != "" {
 			return fmt.Errorf("service: %s", row.Err)
 		}
-		fmt.Printf("served by %s (%s)\n", base, row.Source)
-		printSweep(row.App, row.Sweep)
+		fmt.Fprintf(w, "served by %s (%s)\n", base, row.Source)
+		printSweep(w, row.App, row.Sweep)
 	}
 	return nil
 }
 
 // runRemote asks a running study service for the assessment.
-func runRemote(base, app string, partBytes int, timeoutSec float64, trials, iters int, latencySec, bwBps float64) error {
+func runRemote(w io.Writer, base, app string, partBytes int, timeoutSec float64, trials, iters int, latencySec, bwBps float64) error {
+	geom := cliGeometry(trials, iters)
 	spec := serve.StudySpec{
 		App:               app,
-		Geometry:          &cluster.Config{Trials: trials, Ranks: 8, Iterations: iters, Threads: 48, Seed: 1},
+		Geometry:          &geom,
 		BytesPerPartition: partBytes,
 		BinTimeoutSec:     timeoutSec,
 		Fabric:            &network.Fabric{LatencySec: latencySec, BandwidthBytesPerSec: bwBps, OverheadSec: 0.3e-6},
@@ -152,12 +272,12 @@ func runRemote(base, app string, partBytes int, timeoutSec float64, trials, iter
 	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
 		return err
 	}
-	fmt.Printf("served by %s (%s)\n", base, fr.Source)
-	fmt.Print(fr.Assessment)
+	fmt.Fprintf(w, "served by %s (%s)\n", base, fr.Source)
+	fmt.Fprint(w, fr.Assessment)
 	return nil
 }
 
-func run(app, in string, partBytes int, timeoutSec float64, trials, iters int, latencySec, bwBps float64, strategies bool) error {
+func run(w io.Writer, app, in string, partBytes int, timeoutSec float64, trials, iters int, latencySec, bwBps float64, strategies bool) error {
 	var (
 		study *core.Study
 		err   error
@@ -177,7 +297,7 @@ func run(app, in string, partBytes int, timeoutSec float64, trials, iters int, l
 	case app != "":
 		study, err = core.NewStudy(core.Options{
 			App:      app,
-			Geometry: cluster.Config{Trials: trials, Ranks: 8, Iterations: iters, Threads: 48, Seed: 1},
+			Geometry: cliGeometry(trials, iters),
 		})
 	default:
 		return fmt.Errorf("one of -app or -in is required")
@@ -191,10 +311,10 @@ func run(app, in string, partBytes int, timeoutSec float64, trials, iters int, l
 		return err
 	}
 	if strategies {
-		printSweep(study.App(), study.StrategySweep(partBytes, fabric, nil))
+		printSweep(w, study.App(), study.StrategySweep(partBytes, fabric, nil))
 		return nil
 	}
 	a := study.Feasibility(partBytes, fabric, timeoutSec)
-	fmt.Print(a)
+	fmt.Fprint(w, a)
 	return nil
 }

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"earlybird/internal/serve"
+)
+
+func runCmd(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	err := runMain(args, &out, &errOut)
+	return out.String(), err
+}
+
+func newService(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := serve.New(serve.Options{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRunMainConflicts(t *testing.T) {
+	cases := map[string][]string{
+		"unknown flag":       {"-nope"},
+		"unexpected args":    {"extra"},
+		"no app or in":       {},
+		"remote plus fleet":  {"-app", "minife", "-remote", "http://x", "-fleet", "http://y"},
+		"remote without app": {"-remote", "http://x"},
+		"remote with in":     {"-remote", "http://x", "-in", "fe.json"},
+		"fleet without app":  {"-fleet", "http://x"},
+		"fleet with in":      {"-fleet", "http://x", "-in", "fe.json"},
+		"fleet bad url":      {"-app", "minife", "-fleet", "not-a-url"},
+		"fleet sweep drops feasibility flags": {
+			"-app", "minife", "-fleet", "http://x", "-bin-timeout-ms", "0.5"},
+		"missing input file": {"-in", "does-not-exist.json"},
+	}
+	for name, args := range cases {
+		if _, err := runCmd(t, args...); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestRunMainLocalAssessment(t *testing.T) {
+	out, err := runCmd(t, "-app", "minife", "-trials", "1", "-iters", "10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The assessment ends in the Section 5 verdict ("-> timeout-flush",
+	// "-> fine-grained" or "-> sophisticated").
+	if !strings.Contains(out, "potential overlap") || !strings.Contains(out, "-> ") {
+		t.Fatalf("assessment verdict missing:\n%s", out)
+	}
+}
+
+func TestRunMainLocalStrategies(t *testing.T) {
+	out, err := runCmd(t, "-app", "minife", "-trials", "1", "-iters", "8", "-strategies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "-> best") {
+		t.Fatalf("frontier table missing:\n%s", out)
+	}
+}
+
+func TestRunMainRemote(t *testing.T) {
+	ts := newService(t)
+	out, err := runCmd(t, "-app", "minife", "-trials", "1", "-iters", "8", "-remote", ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "served by "+ts.URL) {
+		t.Fatalf("remote banner missing:\n%s", out)
+	}
+}
+
+func TestRunMainRemoteStrategies(t *testing.T) {
+	ts := newService(t)
+	out, err := runCmd(t, "-app", "miniqmc", "-trials", "1", "-iters", "8", "-strategies", "-remote", ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "-> best") {
+		t.Fatalf("remote frontier missing:\n%s", out)
+	}
+}
+
+// TestRunMainFleet federates a study across two in-process workers and
+// renders the merged row.
+func TestRunMainFleet(t *testing.T) {
+	w1, w2 := newService(t), newService(t)
+	out, err := runCmd(t, "-app", "minife", "-trials", "2", "-iters", "8",
+		"-fleet", w1.URL+","+w2.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "federated minife as 2 trial shards") {
+		t.Fatalf("federation banner missing:\n%s", out)
+	}
+	if !strings.Contains(out, "recommendation:") {
+		t.Fatalf("recommendation missing:\n%s", out)
+	}
+}
+
+func TestRunMainFleetStrategies(t *testing.T) {
+	w1 := newService(t)
+	out, err := runCmd(t, "-app", "minife", "-trials", "1", "-iters", "8", "-strategies",
+		"-bin-timeout-ms", "0.5", "-fleet", w1.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "federated strategy grid over fleet of 1 healthy workers") || !strings.Contains(out, "-> best") {
+		t.Fatalf("federated frontier missing:\n%s", out)
+	}
+	// An explicit -bin-timeout-ms replaces the default timeout axis.
+	if !strings.Contains(out, "binned(500us)") {
+		t.Fatalf("custom bin timeout not evaluated:\n%s", out)
+	}
+	if strings.Contains(out, "binned(250us)") {
+		t.Fatalf("default timeout grid leaked in despite explicit -bin-timeout-ms:\n%s", out)
+	}
+}
+
+func TestRunMainFleetNoHealthyWorkers(t *testing.T) {
+	dead := httptest.NewServer(nil)
+	dead.Close()
+	if _, err := runCmd(t, "-app", "minife", "-fleet", dead.URL); err == nil {
+		t.Fatal("expected error with no healthy workers")
+	}
+}

@@ -8,58 +8,104 @@
 //	curl -s localhost:8080/v1/sweep -d '{"apps":["minife","miniqmc"],"alphas":[0.05,0.01]}'
 //	curl -s localhost:8080/v1/stats
 //
+// With -peers the daemon becomes a federation coordinator: sweep cells
+// fan out to the listed earlybirdd workers over /v1/shard (mergeable
+// accumulator state, results provably equal to single-node execution)
+// and only run locally when no healthy peer can take them.
+//
+//	earlybirdd -addr :8081 &                    # worker
+//	earlybirdd -addr :8080 -peers http://localhost:8081   # coordinator
+//
 // The process drains gracefully on SIGINT/SIGTERM: the listener closes
 // immediately, in-flight requests get -drain-timeout to finish.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"earlybird/internal/fleet"
 	"earlybird/internal/serve"
 )
 
 func main() {
-	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		workers      = flag.Int("workers", 0, "max concurrently executing studies (0 = one per CPU)")
-		maxResults   = flag.Int("max-results", serve.DefaultMaxResults, "LRU result cache capacity (negative disables)")
-		maxDatasets  = flag.Int("max-datasets", serve.DefaultMaxDatasets, "dataset cache bound (negative = unbounded)")
-		maxSweep     = flag.Int("max-sweep-cached-samples", serve.DefaultMaxCachedSweepSamples, "largest geometry (samples) sweeps keep in the dataset cache; larger cells stream uncached")
-		maxStudy     = flag.Int("max-study-samples", serve.DefaultMaxStudySamples, "largest geometry (samples) the materialising study endpoints accept")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain window")
-	)
-	flag.Parse()
-
-	if err := run(*addr, *workers, *maxResults, *maxDatasets, *maxSweep, *maxStudy, *drainTimeout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "earlybirdd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, maxResults, maxDatasets, maxSweep, maxStudy int, drainTimeout time.Duration) error {
-	srv := serve.New(serve.Options{
-		Workers:               workers,
-		MaxResults:            maxResults,
-		MaxDatasets:           maxDatasets,
-		MaxCachedSweepSamples: maxSweep,
-		MaxStudySamples:       maxStudy,
-	})
+// run is the daemon body, testable without signals or a real process:
+// it serves until ctx is done, then drains.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("earlybirdd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr          = fs.String("addr", ":8080", "listen address")
+		workers       = fs.Int("workers", 0, "max concurrently executing studies (0 = one per CPU)")
+		maxResults    = fs.Int("max-results", serve.DefaultMaxResults, "LRU result cache capacity (negative disables)")
+		maxDatasets   = fs.Int("max-datasets", serve.DefaultMaxDatasets, "dataset cache bound (negative = unbounded)")
+		maxSweep      = fs.Int("max-sweep-cached-samples", serve.DefaultMaxCachedSweepSamples, "largest geometry (samples) sweeps keep in the dataset cache; larger cells stream uncached")
+		maxStudy      = fs.Int("max-study-samples", serve.DefaultMaxStudySamples, "largest geometry (samples) the materialising study endpoints accept")
+		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain window")
+		peers         = fs.String("peers", "", "comma-separated earlybirdd worker URLs; serve as a federation coordinator, fanning sweeps out over /v1/shard")
+		shardsPerCell = fs.Int("shards-per-cell", 0, "trial shards per federated sweep cell (0 = one per healthy peer)")
+		probeEvery    = fs.Duration("probe-interval", 5*time.Second, "how often the coordinator re-probes peer health")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage was printed, not a failure
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *peers == "" {
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		for _, name := range []string{"shards-per-cell", "probe-interval"} {
+			if set[name] {
+				return fmt.Errorf("-%s only applies to coordinator mode; add -peers", name)
+			}
+		}
+	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	opts := serve.Options{
+		Workers:               *workers,
+		MaxResults:            *maxResults,
+		MaxDatasets:           *maxDatasets,
+		MaxCachedSweepSamples: *maxSweep,
+		MaxStudySamples:       *maxStudy,
+	}
+	if *peers != "" {
+		fl, err := fleet.New(fleet.Options{Peers: fleet.SplitPeers(*peers), ShardsPerCell: *shardsPerCell})
+		if err != nil {
+			return err
+		}
+		healthy := fl.Probe(ctx)
+		fmt.Fprintf(stdout, "earlybirdd: coordinating %d peers (%d healthy): %s\n",
+			len(fl.Workers()), healthy, strings.Join(fl.Workers(), ", "))
+		fl.StartProbes(ctx, *probeEvery)
+		opts.Fleet = fl
+	}
 
+	srv := serve.New(opts)
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe(addr) }()
-	log.Printf("earlybirdd: serving on %s (%d workers, %d result slots, %d dataset slots)",
-		addr, srv.Engine().Workers(), maxResults, maxDatasets)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	fmt.Fprintf(stdout, "earlybirdd: serving on %s (%d workers, %d result slots, %d dataset slots)\n",
+		*addr, srv.Engine().Workers(), *maxResults, *maxDatasets)
 
 	select {
 	case err := <-errc:
@@ -67,8 +113,8 @@ func run(addr string, workers, maxResults, maxDatasets, maxSweep, maxStudy int, 
 	case <-ctx.Done():
 	}
 
-	log.Printf("earlybirdd: draining (up to %s)", drainTimeout)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	fmt.Fprintf(stdout, "earlybirdd: draining (up to %s)\n", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("drain: %w", err)
@@ -76,6 +122,6 @@ func run(addr string, workers, maxResults, maxDatasets, maxSweep, maxStudy int, 
 	if err := <-errc; err != nil && err != http.ErrServerClosed {
 		return err
 	}
-	log.Print("earlybirdd: stopped")
+	fmt.Fprintln(stdout, "earlybirdd: stopped")
 	return nil
 }

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"earlybird/internal/fleet"
+	"earlybird/internal/serve"
+)
+
+func runCmd(t *testing.T, ctx context.Context, args ...string) (string, error) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	err := run(ctx, args, &out, &errOut)
+	return out.String(), err
+}
+
+func TestSplitPeers(t *testing.T) {
+	got := fleet.SplitPeers(" http://a:1 ,, http://b:2,")
+	if !reflect.DeepEqual(got, []string{"http://a:1", "http://b:2"}) {
+		t.Fatalf("SplitPeers = %v", got)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	ctx := context.Background()
+	cases := map[string][]string{
+		"unknown flag":    {"-nope"},
+		"unexpected args": {"extra"},
+		"bad peer url":    {"-peers", "not-a-url"},
+		"listener error":  {"-addr", "127.0.0.1:999999"},
+	}
+	for name, args := range cases {
+		if _, err := runCmd(t, ctx, args...); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// TestRunServeAndDrain: the daemon serves until its context is
+// cancelled, then drains cleanly — the SIGINT/SIGTERM path without the
+// signals.
+func TestRunServeAndDrain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	out, err := runCmd(t, ctx, "-addr", "127.0.0.1:0", "-drain-timeout", "5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"serving on", "draining", "stopped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunCoordinatorMode: -peers probes the fleet and reports it before
+// serving.
+func TestRunCoordinatorMode(t *testing.T) {
+	worker := serve.New(serve.Options{Workers: 1})
+	ts := httptest.NewServer(worker.Handler())
+	t.Cleanup(ts.Close)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	out, err := runCmd(t, ctx, "-addr", "127.0.0.1:0", "-peers", ts.URL, "-probe-interval", "1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "coordinating 1 peers (1 healthy)") {
+		t.Errorf("coordinator banner missing:\n%s", out)
+	}
+}
+
+func TestRunCoordinatorFlagsRequirePeers(t *testing.T) {
+	ctx := context.Background()
+	for name, args := range map[string][]string{
+		"shards-per-cell without peers": {"-shards-per-cell", "4"},
+		"probe-interval without peers":  {"-probe-interval", "1s"},
+	} {
+		if _, err := runCmd(t, ctx, args...); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

@@ -11,8 +11,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -24,14 +26,32 @@ import (
 )
 
 func main() {
+	if err := runMain(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+// runMain parses flags, builds the suite and renders the experiment.
+func runMain(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		quick   = flag.Bool("quick", false, "reduced geometry (3x4x60x48) for a fast run")
-		exp     = flag.String("exp", "all", "experiment: all | E1 | E2 | table1 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | metrics | overlap | strategies | ablation | distsweep | campaign")
-		figdir  = flag.String("figdir", "", "directory to write figure CSV data into")
-		seed    = flag.Uint64("seed", 1, "master seed")
-		workers = flag.Int("workers", 0, "max concurrently executing studies (0 = one per CPU)")
+		quick   = fs.Bool("quick", false, "reduced geometry (3x4x60x48) for a fast run")
+		exp     = fs.String("exp", "all", "experiment: all | E1 | E2 | table1 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | metrics | overlap | strategies | ablation | distsweep | campaign")
+		figdir  = fs.String("figdir", "", "directory to write figure CSV data into")
+		seed    = fs.Uint64("seed", 1, "master seed")
+		workers = fs.Int("workers", 0, "max concurrently executing studies (0 = one per CPU)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage was printed, not a failure
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
 
 	cfg := experiments.Default()
 	if *quick {
@@ -40,18 +60,14 @@ func main() {
 	cfg.Cluster.Seed = *seed
 	eng := engine.New(*workers)
 	suite := experiments.NewSuiteOn(cfg, eng)
-
-	if err := run(suite, *exp, *figdir); err != nil {
-		fmt.Fprintln(os.Stderr, "repro:", err)
-		os.Exit(1)
-	}
+	return run(suite, *exp, *figdir, stdout)
 }
 
 // runCampaign demonstrates the campaign engine: the three paper apps at
 // the configured and quick geometries — plus one deliberate duplicate of
 // every spec — fanned out concurrently, results streamed as they
 // complete, duplicates served from the dataset cache.
-func runCampaign(s *experiments.Suite, w *os.File) error {
+func runCampaign(s *experiments.Suite, w io.Writer) error {
 	geoms := []cluster.Config{s.Config().Cluster, experiments.Quick().Cluster}
 	geoms[1].Seed = geoms[0].Seed
 	var specs []engine.Spec
@@ -84,8 +100,7 @@ func runCampaign(s *experiments.Suite, w *os.File) error {
 	return nil
 }
 
-func run(s *experiments.Suite, exp, figdir string) error {
-	w := os.Stdout
+func run(s *experiments.Suite, exp, figdir string, w io.Writer) error {
 	switch exp {
 	case "all":
 		s.WriteReport(w)
@@ -163,13 +178,13 @@ func run(s *experiments.Suite, exp, figdir string) error {
 	}
 
 	if figdir != "" {
-		return dumpFigures(s, figdir)
+		return dumpFigures(s, figdir, w)
 	}
 	return nil
 }
 
 // dumpFigures writes plotting-ready CSVs for every figure.
-func dumpFigures(s *experiments.Suite, dir string) error {
+func dumpFigures(s *experiments.Suite, dir string, w io.Writer) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -211,7 +226,7 @@ func dumpFigures(s *experiments.Suite, dir string) error {
 	if err := writeHist(write, "fig9_miniqmc_process.csv", s.E10Fig9MiniQMCHistogram()); err != nil {
 		return err
 	}
-	fmt.Printf("figure data written to %s\n", dir)
+	fmt.Fprintf(w, "figure data written to %s\n", dir)
 	return nil
 }
 

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	err := runMain(args, &out, &errOut)
+	return out.String(), err
+}
+
+func TestRunMainErrors(t *testing.T) {
+	cases := map[string][]string{
+		"unknown flag":       {"-nope"},
+		"unexpected args":    {"extra"},
+		"unknown experiment": {"-quick", "-exp", "nope"},
+	}
+	for name, args := range cases {
+		if _, err := runCmd(t, args...); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestRunMainTable1Quick(t *testing.T) {
+	out, err := runCmd(t, "-quick", "-exp", "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range []string{"minife", "minimd", "miniqmc"} {
+		if !strings.Contains(out, app) {
+			t.Errorf("table1 output missing %s:\n%s", app, out)
+		}
+	}
+}
+
+func TestRunMainFigdir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "figs")
+	out, err := runCmd(t, "-quick", "-exp", "fig4", "-figdir", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "figure data written") {
+		t.Errorf("missing figdir confirmation:\n%s", out)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 5 {
+		t.Errorf("figdir holds %d files, want the full figure set", len(entries))
+	}
+}

@@ -15,8 +15,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"earlybird/internal/cluster"
@@ -28,55 +30,65 @@ import (
 )
 
 func main() {
-	var (
-		app     = flag.String("app", "minife", "application: minife | minimd | miniqmc")
-		trials  = flag.Int("trials", 10, "number of trials")
-		ranks   = flag.Int("ranks", 8, "processes per job")
-		iters   = flag.Int("iters", 200, "iterations per run")
-		threads = flag.Int("threads", 48, "threads per process")
-		seed    = flag.Uint64("seed", 1, "master seed")
-		live    = flag.Bool("live", false, "run real instrumented kernels instead of the calibrated model")
-		format  = flag.String("format", "json", "output format: json | csv")
-		out     = flag.String("o", "", "output file (default stdout)")
-	)
-	flag.Parse()
-
-	if err := run(*app, *trials, *ranks, *iters, *threads, *seed, *live, *format, *out); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "threadtime:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app string, trials, ranks, iters, threads int, seed uint64, live bool, format, out string) error {
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("threadtime", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		app     = fs.String("app", "minife", "application: minife | minimd | miniqmc")
+		trials  = fs.Int("trials", 10, "number of trials")
+		ranks   = fs.Int("ranks", 8, "processes per job")
+		iters   = fs.Int("iters", 200, "iterations per run")
+		threads = fs.Int("threads", 48, "threads per process")
+		seed    = fs.Uint64("seed", 1, "master seed")
+		live    = fs.Bool("live", false, "run real instrumented kernels instead of the calibrated model")
+		format  = fs.String("format", "json", "output format: json | csv")
+		out     = fs.String("o", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage was printed, not a failure
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
 	var (
 		ds  *trace.Dataset
 		err error
 	)
-	if live {
-		ds, err = runLive(app, trials, ranks, iters, threads, seed)
+	if *live {
+		ds, err = runLive(*app, *trials, *ranks, *iters, *threads, *seed)
 	} else {
-		ds, err = runModel(app, cluster.Config{Trials: trials, Ranks: ranks, Iterations: iters, Threads: threads, Seed: seed})
+		ds, err = runModel(*app, cluster.Config{Trials: *trials, Ranks: *ranks, Iterations: *iters, Threads: *threads, Seed: *seed})
 	}
 	if err != nil {
 		return err
 	}
 
-	w := os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		w = f
 	}
-	switch format {
+	switch *format {
 	case "json":
 		return ds.WriteJSON(w)
 	case "csv":
 		return ds.WriteCSV(w)
 	default:
-		return fmt.Errorf("unknown format %q", format)
+		return fmt.Errorf("unknown format %q", *format)
 	}
 }
 

@@ -38,6 +38,13 @@
 // result cache layered over the dataset cache — see internal/serve and
 // the cmd/earlybirdd daemon.
 //
+// Sweeps scale past one machine with the fleet layer: NewFleet /
+// FleetSweep scatter a scenario grid across remote earlybirdd workers
+// as trial shards (POST /v1/shard returns mergeable accumulator state)
+// and gather results that are bit-identical to single-node execution
+// for every exact metric — see internal/fleet and the cmd/earlybirdd
+// -peers coordinator mode.
+//
 // The strategy lab extends the paper's Section 5 feasibility question:
 // Study.StrategySweep (and cmd/earlybird -strategies) evaluates a grid
 // of delivery strategies — including adaptive ones: EWMA-predicted
@@ -52,12 +59,15 @@ package earlybird
 
 import (
 	"context"
+	"fmt"
 	"net/http"
+	"sort"
 
 	"earlybird/internal/analysis"
 	"earlybird/internal/cluster"
 	"earlybird/internal/core"
 	"earlybird/internal/engine"
+	"earlybird/internal/fleet"
 	"earlybird/internal/network"
 	"earlybird/internal/partcomm"
 	"earlybird/internal/serve"
@@ -188,6 +198,53 @@ type ServeOptions = serve.Options
 // embed the API in an existing mux, or ListenAndServe/Shutdown to run it
 // standalone; cmd/earlybirdd is the packaged daemon.
 func NewServer(opts ServeOptions) *Server { return serve.New(opts) }
+
+// Fleet federates sweep execution across remote earlybirdd workers:
+// health-probed registry, rendezvous cell scheduling, bounded dispatch,
+// failover, and shard-state merging that is provably equivalent to
+// single-node execution (bit-exact for moment-derived metrics and
+// Table 1, rank-error-bounded for sketch quantiles).
+type Fleet = fleet.Fleet
+
+// FleetOptions configures NewFleet.
+type FleetOptions = fleet.Options
+
+// SweepRequest describes a scenario grid for Server sweeps and
+// FleetSweep: the cross product of applications, geometries,
+// significance levels and laggard thresholds.
+type SweepRequest = serve.SweepRequest
+
+// SweepRow is one sweep cell's streaming analysis, with federation
+// provenance (shard count, workers) when it was computed by a fleet.
+type SweepRow = serve.SweepRow
+
+// NewFleet returns a federation coordinator over the given workers. Use
+// its Sweep/Strategies to scatter grids across the fleet, or set it as
+// ServeOptions.Fleet to make a server's /v1/sweep fan out transparently;
+// cmd/earlybirdd -peers and cmd/earlybird -fleet are the packaged forms.
+func NewFleet(opts FleetOptions) (*Fleet, error) { return fleet.New(opts) }
+
+// FleetSweep runs one sweep request across the fleet of workers at the
+// given base URLs and returns the rows in grid order. It probes the
+// workers first and fails if none is healthy; per-cell failures are
+// reported on the rows. The merged results are bit-identical to
+// single-node execution for every exact metric.
+func FleetSweep(ctx context.Context, peers []string, req SweepRequest) ([]SweepRow, error) {
+	f, err := fleet.New(fleet.Options{Peers: peers})
+	if err != nil {
+		return nil, err
+	}
+	if f.Probe(ctx) == 0 {
+		return nil, fmt.Errorf("earlybird: no healthy fleet workers among %v", peers)
+	}
+	var rows []SweepRow
+	err = f.Sweep(ctx, req, func(r SweepRow) { rows = append(rows, r) })
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Index < rows[j].Index })
+	return rows, nil
+}
 
 // Serve runs the study service on addr until ctx is cancelled, then
 // drains in-flight requests gracefully (without a deadline — wrap

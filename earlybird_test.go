@@ -2,7 +2,10 @@ package earlybird_test
 
 import (
 	"bytes"
+	"context"
+	"net/http/httptest"
 	"testing"
+	"time"
 
 	"earlybird"
 	"earlybird/internal/trace"
@@ -169,5 +172,146 @@ func TestStreamingMatchesMaterializedAtPaperGeometry(t *testing.T) {
 	}
 	if rel(streamed.IQRMaxSec, exact.IQRMaxSec) > 0.15 {
 		t.Errorf("IQRMaxSec: streaming %v vs exact %v (>15%%)", streamed.IQRMaxSec, exact.IQRMaxSec)
+	}
+}
+
+// TestFacadeRunCampaignErrorPropagation: per-spec failures land on the
+// result and in the joined error, while valid sibling specs still
+// complete.
+func TestFacadeRunCampaignErrorPropagation(t *testing.T) {
+	small := earlybird.Geometry{Trials: 1, Ranks: 1, Iterations: 8, Threads: 16, Seed: 30}
+	results, err := earlybird.RunCampaign(earlybird.Campaign{
+		Specs: []earlybird.CampaignSpec{
+			{App: "no-such-app", Geometry: small},
+			{App: "minife", Geometry: small},
+		},
+	})
+	if err == nil {
+		t.Fatal("expected a joined error for the failing spec")
+	}
+	if results[0].Err == nil {
+		t.Error("failing spec has no per-result error")
+	}
+	if results[1].Err != nil || results[1].Metrics.MeanMedianSec <= 0 {
+		t.Errorf("valid sibling spec did not complete: %+v", results[1])
+	}
+	if _, err := earlybird.RunCampaign(earlybird.Campaign{Specs: []earlybird.CampaignSpec{{}}}); err == nil {
+		t.Error("empty spec should fail to resolve")
+	}
+}
+
+// TestFacadeStrategySweep exercises the PR 4 strategy-lab aliases from
+// the public API: the sweep returns the full grid, the frontier fields
+// are consistent, and the alias types interoperate.
+func TestFacadeStrategySweep(t *testing.T) {
+	study, err := earlybird.NewStudy(earlybird.Options{
+		App:      "minife",
+		Geometry: earlybird.Geometry{Trials: 1, Ranks: 2, Iterations: 10, Threads: 48, Seed: 31},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sw earlybird.StrategySweep = study.StrategySweep(1<<20, earlybird.OmniPath(), nil)
+	if len(sw.Results) < 4 {
+		t.Fatalf("strategy grid has %d results, want the full optimizer set", len(sw.Results))
+	}
+	var best earlybird.StrategyResult
+	found := false
+	for _, r := range sw.Results {
+		if r.Strategy == sw.Best {
+			best, found = r, true
+		}
+	}
+	if !found {
+		t.Fatalf("frontier names unknown strategy %q", sw.Best)
+	}
+	if best.MeanFinishSec != sw.BestFinishSec {
+		t.Errorf("frontier finish %v != best result %v", sw.BestFinishSec, best.MeanFinishSec)
+	}
+	for _, r := range sw.Results {
+		if r.MeanFinishSec < sw.BestFinishSec {
+			t.Errorf("%s finishes before the declared best", r.Strategy)
+		}
+	}
+}
+
+// TestFacadeServeListenerError: Serve must surface listener failures
+// instead of hanging.
+func TestFacadeServeListenerError(t *testing.T) {
+	err := earlybird.Serve(context.Background(), "127.0.0.1:999999", earlybird.ServeOptions{})
+	if err == nil {
+		t.Fatal("expected listener error")
+	}
+}
+
+// TestFacadeServeShutdown: Serve drains and returns nil when its context
+// is cancelled.
+func TestFacadeServeShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- earlybird.Serve(ctx, "127.0.0.1:0", earlybird.ServeOptions{Workers: 1}) }()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("clean shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not drain after cancellation")
+	}
+}
+
+// TestFacadeFleetSweep: the one-call federation facade scatters a sweep
+// over in-process workers and returns rows in grid order, bit-identical
+// to local streaming analysis.
+func TestFacadeFleetSweep(t *testing.T) {
+	w1 := httptest.NewServer(earlybird.NewServer(earlybird.ServeOptions{Workers: 2}).Handler())
+	defer w1.Close()
+	w2 := httptest.NewServer(earlybird.NewServer(earlybird.ServeOptions{Workers: 2}).Handler())
+	defer w2.Close()
+
+	geom := earlybird.Geometry{Trials: 2, Ranks: 2, Iterations: 8, Threads: 48, Seed: 32}
+	rows, err := earlybird.FleetSweep(context.Background(), []string{w1.URL, w2.URL}, earlybird.SweepRequest{
+		Apps:       []string{"minife", "miniqmc"},
+		Geometries: []earlybird.Geometry{geom},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %d, want 2", len(rows))
+	}
+	for i, row := range rows {
+		if row.Index != i {
+			t.Errorf("rows not in grid order: %v at %d", row.Index, i)
+		}
+		if row.Err != "" {
+			t.Fatalf("cell %d errored: %s", i, row.Err)
+		}
+		if row.Shards != 2 {
+			t.Errorf("cell %d used %d shards, want 2", i, row.Shards)
+		}
+	}
+
+	// The merged minife row equals local streaming execution bit-exactly
+	// for the exact metrics.
+	res, err := earlybird.StreamMetrics(earlybird.Options{App: "minife", Geometry: geom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Metrics.MeanMedianSec != res.MeanMedianSec ||
+		rows[0].Metrics.AvgReclaimableProcSec != res.AvgReclaimableProcSec {
+		t.Errorf("federated metrics diverge from local streaming:\nfleet %+v\nlocal %+v", rows[0].Metrics, res)
+	}
+
+	// No healthy workers: a fresh fleet over a dead URL fails fast.
+	dead := httptest.NewServer(nil)
+	dead.Close()
+	if _, err := earlybird.FleetSweep(context.Background(), []string{dead.URL}, earlybird.SweepRequest{Apps: []string{"minife"}}); err == nil {
+		t.Error("expected error with no healthy workers")
+	}
+	if _, err := earlybird.NewFleet(earlybird.FleetOptions{}); err == nil {
+		t.Error("NewFleet with no peers should fail")
 	}
 }

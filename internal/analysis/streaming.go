@@ -18,41 +18,58 @@ import (
 // internal/core and internal/analysis) at a fraction of the memory.
 const iterSketchCompression = 32
 
-// iterAccum is the per-application-iteration state of a
-// MetricsAccumulator: count, sum and max reconstruct the reclaimable-time
-// and idle-ratio metrics exactly; the sketch estimates the iteration IQR.
-type iterAccum struct {
-	n      int64
-	sum    float64
-	max    float64
-	sketch *stats.QuantileSketch
+// iterPartial is one trial's exact contribution to one application
+// iteration: count, sum and max reconstruct the reclaimable-time and
+// idle-ratio metrics exactly once folded across trials.
+type iterPartial struct {
+	n   int64
+	sum float64
+	max float64
+}
+
+// trialAccum is one trial's share of a MetricsAccumulator: the exact
+// process-level sums plus the per-iteration exact partials. Keeping
+// state at trial granularity is what makes federation sound — a trial's
+// partial is a deterministic function of the samples alone, so any
+// partition of the trial space across shards reproduces the same set of
+// trialAccums, and Finalize's fixed-order fold rebuilds identical
+// totals.
+type trialAccum struct {
+	nProc     int64
+	medianSum float64
+	reclSum   float64
+	ratioSum  float64
+	laggards  int64
+	iters     map[int]*iterPartial
 }
 
 // MetricsAccumulator computes AppMetrics in a single pass over
-// process-iteration blocks, holding O(iterations) state instead of the
-// O(samples) a materialised dataset needs. Per-process-iteration
-// quantities (mean median, laggard fraction, reclaimable time, idle
-// ratio) are exact: each block is complete when observed, so its median
-// is computed directly. Application-iteration reclaimable time and idle
-// ratio are exact too — they reduce to per-iteration count/sum/max — and
-// only the iteration IQR statistics are estimated, by a per-iteration
-// quantile sketch.
+// process-iteration blocks, holding O(trials x iterations) partial state
+// instead of the O(samples) a materialised dataset needs.
+// Per-process-iteration quantities (mean median, laggard fraction,
+// reclaimable time, idle ratio) are exact: each block is complete when
+// observed, so its median is computed directly. Application-iteration
+// reclaimable time and idle ratio are exact too — they reduce to
+// per-iteration count/sum/max — and only the iteration IQR statistics
+// are estimated, by a per-iteration quantile sketch.
 //
-// Accumulators are mergeable: a parallel fill keeps one per worker and
-// combines them with Merge, in any order. An accumulator is not safe for
+// Accumulators are mergeable: a parallel fill keeps one per worker (or a
+// federated sweep one per trial shard) and combines them with Merge, in
+// any order. State is kept per trial and Finalize folds trials in
+// ascending order, so when each trial's blocks were observed by exactly
+// one accumulator in a deterministic order — as in cursor passes and the
+// fleet's trial-sharded execution — every non-sketch output is
+// bit-identical regardless of how trials were partitioned or merged. The
+// IQR fields ride the quantile sketch, whose merge keeps the documented
+// rank-error bound but not bit-equality. An accumulator is not safe for
 // concurrent use.
 type MetricsAccumulator struct {
 	app       string
 	threshold float64
-
-	nProc     int
-	medianSum float64
-	reclSum   float64
-	ratioSum  float64
-	laggards  int
 	scratch   []float64
 
-	iters map[int]*iterAccum
+	trials   map[int]*trialAccum
+	sketches map[int]*stats.QuantileSketch
 }
 
 // NewMetricsAccumulator returns an empty accumulator for the given
@@ -61,8 +78,25 @@ func NewMetricsAccumulator(app string, laggardThreshold float64) *MetricsAccumul
 	return &MetricsAccumulator{
 		app:       app,
 		threshold: laggardThreshold,
-		iters:     map[int]*iterAccum{},
+		trials:    map[int]*trialAccum{},
+		sketches:  map[int]*stats.QuantileSketch{},
 	}
+}
+
+// App returns the application name the accumulator was created for.
+func (a *MetricsAccumulator) App() string { return a.app }
+
+// LaggardThreshold returns the laggard rule (seconds) the accumulator
+// classifies with.
+func (a *MetricsAccumulator) LaggardThreshold() float64 { return a.threshold }
+
+// Blocks returns how many process-iteration blocks have been observed.
+func (a *MetricsAccumulator) Blocks() int64 {
+	var n int64
+	for _, ta := range a.trials {
+		n += ta.nProc
+	}
+	return n
 }
 
 // ObserveBlock implements cluster.BlockObserver: it folds one complete
@@ -80,94 +114,170 @@ func (a *MetricsAccumulator) ObserveBlock(trial, rank, iter int, xs []float64) {
 		}
 	}
 
+	ta := a.trials[trial]
+	if ta == nil {
+		ta = &trialAccum{iters: map[int]*iterPartial{}}
+		a.trials[trial] = ta
+	}
+
 	// Process-iteration level: exact, the block is complete.
 	a.scratch = append(a.scratch[:0], xs...)
 	sort.Float64s(a.scratch)
 	med := stats.PercentileSorted(a.scratch, 50)
 	recl := float64(n)*max - sum
-	a.nProc++
-	a.medianSum += med
-	a.reclSum += recl
+	ta.nProc++
+	ta.medianSum += med
+	ta.reclSum += recl
 	if max > 0 {
-		a.ratioSum += recl / (max * float64(n))
+		ta.ratioSum += recl / (max * float64(n))
 	}
 	if max-med > a.threshold {
-		a.laggards++
+		ta.laggards++
 	}
 
-	// Application-iteration level: count/sum/max are exact; the sketch
-	// covers the IQR.
-	ia := a.iters[iter]
-	if ia == nil {
-		ia = &iterAccum{sketch: stats.NewQuantileSketch(iterSketchCompression)}
-		a.iters[iter] = ia
+	// Application-iteration level: count/sum/max are exact per-trial
+	// partials; the sketch covers the IQR.
+	ip := ta.iters[iter]
+	if ip == nil {
+		ip = &iterPartial{max: max}
+		ta.iters[iter] = ip
+	} else if max > ip.max {
+		ip.max = max
 	}
-	ia.n += int64(n)
-	ia.sum += sum
-	if ia.n == int64(n) || max > ia.max {
-		ia.max = max
+	ip.n += int64(n)
+	ip.sum += sum
+
+	sk := a.sketches[iter]
+	if sk == nil {
+		sk = stats.NewQuantileSketch(iterSketchCompression)
+		a.sketches[iter] = sk
 	}
-	ia.sketch.AddSlice(xs)
+	sk.AddSlice(xs)
 }
 
 // Merge folds another accumulator (for the same application and
-// threshold) into this one. o must not be used afterwards.
+// threshold) into this one. o must not be used afterwards. Trials held
+// by only one side are adopted bit-exactly; trials present in both (a
+// scheduling-dependent worker split) combine additively.
 func (a *MetricsAccumulator) Merge(o *MetricsAccumulator) {
 	if o == nil {
 		return
 	}
-	a.nProc += o.nProc
-	a.medianSum += o.medianSum
-	a.reclSum += o.reclSum
-	a.ratioSum += o.ratioSum
-	a.laggards += o.laggards
-	for iter, ob := range o.iters {
-		ia := a.iters[iter]
-		if ia == nil {
-			a.iters[iter] = ob
+	for trial, ot := range o.trials {
+		ta := a.trials[trial]
+		if ta == nil {
+			a.trials[trial] = ot
 			continue
 		}
-		if ob.max > ia.max {
-			ia.max = ob.max
+		ta.nProc += ot.nProc
+		ta.medianSum += ot.medianSum
+		ta.reclSum += ot.reclSum
+		ta.ratioSum += ot.ratioSum
+		ta.laggards += ot.laggards
+		for iter, op := range ot.iters {
+			ip := ta.iters[iter]
+			if ip == nil {
+				ta.iters[iter] = op
+				continue
+			}
+			if op.max > ip.max {
+				ip.max = op.max
+			}
+			ip.n += op.n
+			ip.sum += op.sum
 		}
-		ia.n += ob.n
-		ia.sum += ob.sum
-		ia.sketch.Merge(ob.sketch)
+	}
+	for iter, os := range o.sketches {
+		sk := a.sketches[iter]
+		if sk == nil {
+			a.sketches[iter] = os
+			continue
+		}
+		sk.Merge(os)
 	}
 }
 
-// Finalize computes the AppMetrics from the accumulated state.
+// sortedTrials returns the observed trial indices in ascending order —
+// the canonical fold order of Finalize.
+func (a *MetricsAccumulator) sortedTrials() []int {
+	ts := make([]int, 0, len(a.trials))
+	for t := range a.trials {
+		ts = append(ts, t)
+	}
+	sort.Ints(ts)
+	return ts
+}
+
+// Finalize computes the AppMetrics from the accumulated state, folding
+// trials in ascending order so the result depends only on what was
+// observed, never on how observations were partitioned or merged.
 func (a *MetricsAccumulator) Finalize() AppMetrics {
 	m := AppMetrics{App: a.app}
-	if a.nProc > 0 {
-		m.MeanMedianSec = a.medianSum / float64(a.nProc)
-		m.LaggardFraction = float64(a.laggards) / float64(a.nProc)
-		m.AvgReclaimableProcSec = a.reclSum / float64(a.nProc)
-		m.IdleRatioProc = a.ratioSum / float64(a.nProc)
+
+	var nProc, laggards int64
+	medianSum, reclSum, ratioSum := 0.0, 0.0, 0.0
+	type iterTotal struct {
+		n   int64
+		sum float64
+		max float64
 	}
-	nIter := 0
+	totals := map[int]*iterTotal{}
+	for _, t := range a.sortedTrials() {
+		ta := a.trials[t]
+		nProc += ta.nProc
+		medianSum += ta.medianSum
+		reclSum += ta.reclSum
+		ratioSum += ta.ratioSum
+		laggards += ta.laggards
+		for iter, ip := range ta.iters {
+			it := totals[iter]
+			if it == nil {
+				totals[iter] = &iterTotal{n: ip.n, sum: ip.sum, max: ip.max}
+				continue
+			}
+			it.n += ip.n
+			it.sum += ip.sum
+			if ip.max > it.max {
+				it.max = ip.max
+			}
+		}
+	}
+	if nProc > 0 {
+		m.MeanMedianSec = medianSum / float64(nProc)
+		m.LaggardFraction = float64(laggards) / float64(nProc)
+		m.AvgReclaimableProcSec = reclSum / float64(nProc)
+		m.IdleRatioProc = ratioSum / float64(nProc)
+	}
+
+	iters := make([]int, 0, len(totals))
+	for iter, it := range totals {
+		if it.n > 0 {
+			iters = append(iters, iter)
+		}
+	}
+	sort.Ints(iters)
 	reclAppSum, ratioAppSum, iqrSum := 0.0, 0.0, 0.0
 	iqrMax := 0.0
-	for _, ia := range a.iters {
-		if ia.n == 0 {
-			continue
-		}
-		nIter++
-		recl := float64(ia.n)*ia.max - ia.sum
+	for _, iter := range iters {
+		it := totals[iter]
+		recl := float64(it.n)*it.max - it.sum
 		reclAppSum += recl
-		if ia.max > 0 {
-			ratioAppSum += recl / (ia.max * float64(ia.n))
+		if it.max > 0 {
+			ratioAppSum += recl / (it.max * float64(it.n))
 		}
-		iqr := ia.sketch.Quantile(0.75) - ia.sketch.Quantile(0.25)
+		var iqr float64
+		if sk := a.sketches[iter]; sk != nil {
+			iqr = sk.Quantile(0.75) - sk.Quantile(0.25)
+		}
 		iqrSum += iqr
 		if iqr > iqrMax {
 			iqrMax = iqr
 		}
 	}
-	if nIter > 0 {
-		m.AvgReclaimableAppIterSec = reclAppSum / float64(nIter)
-		m.IdleRatioAppIter = ratioAppSum / float64(nIter)
-		m.IQRMeanSec = iqrSum / float64(nIter)
+	if len(iters) > 0 {
+		m.AvgReclaimableAppIterSec = reclAppSum / float64(len(iters))
+		m.IdleRatioAppIter = ratioAppSum / float64(len(iters))
+		m.IQRMeanSec = iqrSum / float64(len(iters))
 		m.IQRMaxSec = iqrMax
 	}
 	return m

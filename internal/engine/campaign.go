@@ -8,6 +8,7 @@ import (
 	"earlybird/internal/analysis"
 	"earlybird/internal/cluster"
 	"earlybird/internal/core"
+	"earlybird/internal/fnv"
 	"earlybird/internal/network"
 	"earlybird/internal/stats/normality"
 	"earlybird/internal/trace"
@@ -123,6 +124,30 @@ func (sp Spec) Key() SpecKey {
 		fabric:              sp.Fabric,
 		binTimeoutSec:       sp.BinTimeoutSec,
 	}
+}
+
+// Hash folds the key into a deterministic 64-bit FNV-1a value, stable
+// across processes for specs without a preloaded dataset — the property
+// the fleet scheduler relies on to route equal cells to the same worker
+// (keeping that worker's dataset cache hot) from any coordinator.
+// Dataset-backed keys mix in nothing for the dataset itself: such specs
+// never travel over the wire, so their hash only needs to be consistent
+// within one process's scheduling decisions.
+func (k SpecKey) Hash() uint64 {
+	h := fnv.Str(fnv.Offset64, k.model)
+	h = fnv.U64(h, uint64(k.geometry.Trials))
+	h = fnv.U64(h, uint64(k.geometry.Ranks))
+	h = fnv.U64(h, uint64(k.geometry.Iterations))
+	h = fnv.U64(h, uint64(k.geometry.Threads))
+	h = fnv.U64(h, k.geometry.Seed)
+	h = fnv.F64(h, k.alpha)
+	h = fnv.F64(h, k.laggardThresholdSec)
+	h = fnv.U64(h, uint64(k.bytesPerPartition))
+	h = fnv.F64(h, k.fabric.LatencySec)
+	h = fnv.F64(h, k.fabric.BandwidthBytesPerSec)
+	h = fnv.F64(h, k.fabric.OverheadSec)
+	h = fnv.F64(h, k.binTimeoutSec)
+	return h
 }
 
 // Result is the analysed outcome of one campaign spec.

@@ -304,3 +304,41 @@ func TestColumnarSharesCacheWithDataset(t *testing.T) {
 		t.Fatal("dataset view rebuilt on second call")
 	}
 }
+
+// TestSpecKeyHash: equal resolved specs hash equally regardless of how
+// they were spelled; distinct specs (different app, geometry, alpha or
+// seed) hash differently — the property the fleet scheduler needs to
+// route equal cells to the same worker.
+func TestSpecKeyHash(t *testing.T) {
+	resolve := func(sp Spec) SpecKey {
+		r, err := sp.Resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Key()
+	}
+
+	// Two spellings of the same study: explicit paper defaults vs zeros.
+	explicit := resolve(Spec{App: "minife", Geometry: cluster.DefaultConfig(), Alpha: 0.05})
+	zeroed := resolve(Spec{App: "minife"})
+	if explicit.Hash() != zeroed.Hash() {
+		t.Error("equal resolved specs hash differently")
+	}
+
+	base := resolve(Spec{App: "minife"})
+	variants := []Spec{
+		{App: "minimd"},
+		{App: "minife", Geometry: cluster.SmallConfig()},
+		{App: "minife", Alpha: 0.01},
+		{App: "minife", Geometry: cluster.Config{Trials: 10, Ranks: 8, Iterations: 200, Threads: 48, Seed: 2}},
+		{App: "minife", LaggardThresholdSec: 2e-3},
+	}
+	seen := map[uint64]string{base.Hash(): "base"}
+	for _, v := range variants {
+		h := resolve(v).Hash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("hash collision between %q and %+v", prev, v)
+		}
+		seen[h] = v.App
+	}
+}

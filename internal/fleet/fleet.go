@@ -1,0 +1,367 @@
+// Package fleet federates sweep and strategy-grid execution across a
+// set of remote earlybirdd workers — the scatter/gather layer above the
+// study service.
+//
+// A Fleet is a worker registry (health-probed over /v1/healthz) plus a
+// cell scheduler. Sweep cells are split into contiguous trial shards and
+// dispatched over POST /v1/shard, which returns mergeable accumulator
+// state rather than finished rows; the coordinator merges shard states
+// and finalizes the row. Because the accumulators key their partials by
+// absolute trial and finalize in a fixed order, the merged results are
+// bit-identical to single-node execution for every moment-derived metric
+// and the Table 1 row (the sketch-backed IQR statistics keep the
+// sketch's documented rank-error bound) — see internal/analysis's
+// partition-invariance property test.
+//
+// Scheduling is rendezvous hashing on the cell's resolved
+// engine.SpecKey: equal cells route to the same worker from any
+// coordinator, so each worker's LRU dataset cache stays hot across
+// repeated sweeps. Dispatch is bounded (MaxInFlight shard requests in
+// flight fleet-wide) and fails over: a worker that times out or answers
+// 5xx is marked unhealthy and its shard re-dispatched to the next
+// survivor, so a worker killed mid-sweep costs re-execution of its
+// in-flight shards, never a lost or duplicated cell.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"earlybird/internal/fnv"
+	"earlybird/internal/serve"
+)
+
+// Defaults for Options' zero values.
+const (
+	// DefaultProbeTimeout bounds one health probe.
+	DefaultProbeTimeout = 2 * time.Second
+	// DefaultMaxInFlightPerWorker sizes the default Options.MaxInFlight:
+	// the fleet-wide outstanding-request bound defaults to this many per
+	// registered worker (so a coordinator over N peers keeps at most 2N
+	// shard/strategy-cell requests in flight).
+	DefaultMaxInFlightPerWorker = 2
+)
+
+// SplitPeers parses a comma-separated peer list (the -peers / -fleet
+// flag format), dropping empty entries; New performs the per-URL
+// validation.
+func SplitPeers(csv string) []string {
+	var peers []string
+	for _, p := range strings.Split(csv, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}
+
+// Options configures a Fleet.
+type Options struct {
+	// Peers are the workers' base URLs (e.g. http://host:8080). At least
+	// one is required.
+	Peers []string
+	// Client is the HTTP client for shard and probe traffic; nil means a
+	// client without an overall timeout (shard execution time is
+	// geometry-dependent; use Client to impose one).
+	Client *http.Client
+	// ShardsPerCell splits each cell's trial space into up to this many
+	// contiguous shards, spread over distinct workers when possible.
+	// 0 means one shard per healthy worker (capped at the cell's trial
+	// count); 1 pins whole cells to single workers for maximum dataset
+	// cache locality.
+	ShardsPerCell int
+	// MaxInFlight bounds concurrently outstanding requests fleet-wide;
+	// 0 means DefaultMaxInFlightPerWorker x len(Peers).
+	MaxInFlight int
+	// ProbeTimeout bounds one health probe; 0 means DefaultProbeTimeout.
+	ProbeTimeout time.Duration
+}
+
+// worker is one registry entry.
+type worker struct {
+	url      string
+	urlHash  uint64
+	healthy  atomic.Bool
+	shards   atomic.Int64
+	failures atomic.Int64
+}
+
+// Fleet is a federation coordinator. Create with New; safe for
+// concurrent use. It implements serve.FleetDispatcher, so it can be
+// plugged into a serve.Server (Options.Fleet) to make that server's
+// /v1/sweep fan out transparently.
+type Fleet struct {
+	opts    Options
+	client  *http.Client
+	workers []*worker
+	sem     chan struct{}
+
+	cellsMerged      atomic.Int64
+	cellsFailed      atomic.Int64
+	shardsDispatched atomic.Int64
+	failovers        atomic.Int64
+}
+
+// New validates the options and returns a ready fleet. Workers start
+// healthy; call Probe (or StartProbes) to verify them, and let failover
+// demote the ones that misbehave.
+func New(opts Options) (*Fleet, error) {
+	if len(opts.Peers) == 0 {
+		return nil, fmt.Errorf("fleet: at least one peer URL is required")
+	}
+	f := &Fleet{opts: opts, client: opts.Client}
+	if f.client == nil {
+		f.client = &http.Client{}
+	}
+	seen := map[string]bool{}
+	for _, raw := range opts.Peers {
+		u := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if u == "" {
+			return nil, fmt.Errorf("fleet: empty peer URL")
+		}
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return nil, fmt.Errorf("fleet: peer %q is not an http(s) URL", raw)
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("fleet: duplicate peer %q", u)
+		}
+		seen[u] = true
+		w := &worker{url: u, urlHash: fnv.Str(fnv.Offset64, u)}
+		w.healthy.Store(true)
+		f.workers = append(f.workers, w)
+	}
+	inFlight := opts.MaxInFlight
+	if inFlight <= 0 {
+		inFlight = DefaultMaxInFlightPerWorker * len(f.workers)
+	}
+	f.sem = make(chan struct{}, inFlight)
+	return f, nil
+}
+
+// Workers returns the registered peer URLs.
+func (f *Fleet) Workers() []string {
+	urls := make([]string, len(f.workers))
+	for i, w := range f.workers {
+		urls[i] = w.url
+	}
+	return urls
+}
+
+// Healthy returns how many workers are currently considered healthy.
+func (f *Fleet) Healthy() int {
+	n := 0
+	for _, w := range f.workers {
+		if w.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Probe health-checks every worker concurrently (GET /v1/healthz) and
+// returns the healthy count. Probes both demote dead workers and revive
+// recovered ones.
+func (f *Fleet) Probe(ctx context.Context) int {
+	timeout := f.opts.ProbeTimeout
+	if timeout <= 0 {
+		timeout = DefaultProbeTimeout
+	}
+	var wg sync.WaitGroup
+	for _, w := range f.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(pctx, http.MethodGet, w.url+"/v1/healthz", nil)
+			if err != nil {
+				w.healthy.Store(false)
+				return
+			}
+			resp, err := f.client.Do(req)
+			if err != nil {
+				w.healthy.Store(false)
+				return
+			}
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+			resp.Body.Close()
+			w.healthy.Store(resp.StatusCode == http.StatusOK)
+		}(w)
+	}
+	wg.Wait()
+	return f.Healthy()
+}
+
+// StartProbes re-probes the fleet every interval until ctx is done — the
+// coordinator daemon's liveness loop. It returns immediately.
+func (f *Fleet) StartProbes(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				f.Probe(ctx)
+			}
+		}
+	}()
+}
+
+// Snapshot implements serve.FleetDispatcher: the registry and traffic
+// counters for /v1/stats. The coordinator-side cell counters
+// (CellsDispatched, LocalFallbacks) are filled by the serve layer.
+func (f *Fleet) Snapshot() serve.FleetSnapshot {
+	snap := serve.FleetSnapshot{
+		Peers:            len(f.workers),
+		Healthy:          f.Healthy(),
+		CellsMerged:      f.cellsMerged.Load(),
+		CellsFailed:      f.cellsFailed.Load(),
+		ShardsDispatched: f.shardsDispatched.Load(),
+		Failovers:        f.failovers.Load(),
+	}
+	for _, w := range f.workers {
+		snap.Workers = append(snap.Workers, serve.FleetWorkerSnapshot{
+			URL:      w.url,
+			Healthy:  w.healthy.Load(),
+			Shards:   w.shards.Load(),
+			Failures: w.failures.Load(),
+		})
+	}
+	return snap
+}
+
+// rank orders the fleet's workers for one (cell, shard) pair by
+// rendezvous hashing: every coordinator computes the same ranking, the
+// top healthy worker takes the shard, and the ranking itself is the
+// failover order. Shard 0's ranking depends only on the cell key, so a
+// one-shard cell lands on the same worker sweep after sweep.
+func (f *Fleet) rank(cellHash uint64, shard int) []*worker {
+	type scored struct {
+		w     *worker
+		score uint64
+	}
+	base := fnv.U64(fnv.U64(fnv.Offset64, cellHash), uint64(shard))
+	ss := make([]scored, len(f.workers))
+	for i, w := range f.workers {
+		ss[i] = scored{w: w, score: fnv.U64(base, w.urlHash)}
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].score != ss[j].score {
+			return ss[i].score > ss[j].score
+		}
+		return ss[i].w.url < ss[j].w.url
+	})
+	ranked := make([]*worker, len(ss))
+	for i, s := range ss {
+		ranked[i] = s.w
+	}
+	return ranked
+}
+
+// errNotPlaced reports that every worker was tried and none could take
+// the request — the caller should fall back to local execution.
+type errNotPlaced struct{ last error }
+
+func (e errNotPlaced) Error() string {
+	if e.last == nil {
+		return "fleet: no healthy workers"
+	}
+	return fmt.Sprintf("fleet: no healthy workers (last failure: %v)", e.last)
+}
+
+// errCell is a non-retryable per-cell failure (the worker answered 4xx):
+// the request itself is bad and would fail identically everywhere.
+type errCell struct{ msg string }
+
+func (e errCell) Error() string { return e.msg }
+
+// post sends one JSON request under the in-flight bound and decodes the
+// 200 response into out. Transport failures, 5xx answers and undecodable
+// bodies are retryable (the worker is at fault); 4xx answers are not
+// (the request is at fault).
+func (f *Fleet) post(ctx context.Context, w *worker, path string, body, out any) (retryable bool, err error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return false, err
+	}
+	select {
+	case f.sem <- struct{}{}:
+	case <-ctx.Done():
+		return false, ctx.Err()
+	}
+	defer func() { <-f.sem }()
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+path, bytes.NewReader(buf))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	f.shardsDispatched.Add(1)
+	resp, err := f.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return false, ctx.Err() // caller cancelled; not the worker's fault
+		}
+		return true, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return true, fmt.Errorf("decoding %s response: %w", path, err)
+		}
+		return false, nil
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		var eb struct {
+			Error string `json:"error"`
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(msg, &eb) == nil && eb.Error != "" {
+			return false, errCell{msg: eb.Error}
+		}
+		return false, errCell{msg: fmt.Sprintf("%s: %s", resp.Status, bytes.TrimSpace(msg))}
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return true, fmt.Errorf("worker answered %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+}
+
+// dispatch tries one request against the (cell, shard) rendezvous
+// ranking with failover: retryable failures demote the worker and move
+// on; a 4xx stops immediately. On success it returns the worker that
+// answered.
+func (f *Fleet) dispatch(ctx context.Context, cellHash uint64, shard int, path string, body, out any) (*worker, error) {
+	var lastErr error
+	for _, w := range f.rank(cellHash, shard) {
+		if !w.healthy.Load() {
+			continue
+		}
+		retryable, err := f.post(ctx, w, path, body, out)
+		if err == nil {
+			w.shards.Add(1)
+			return w, nil
+		}
+		if !retryable {
+			return nil, err // errCell or ctx cancellation
+		}
+		w.failures.Add(1)
+		w.healthy.Store(false)
+		f.failovers.Add(1)
+		lastErr = err
+	}
+	return nil, errNotPlaced{last: lastErr}
+}

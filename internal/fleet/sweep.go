@@ -1,0 +1,277 @@
+// Scatter/gather execution: sweep cells shard across workers and merge
+// by accumulator state; strategy cells dispatch whole and merge by
+// concatenation.
+
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"earlybird/internal/analysis"
+	"earlybird/internal/cluster"
+	"earlybird/internal/core"
+	"earlybird/internal/engine"
+	"earlybird/internal/serve"
+)
+
+// shardRange is one contiguous trial range of a cell.
+type shardRange struct{ lo, hi int }
+
+// splitTrials partitions [0, trials) into k balanced contiguous ranges.
+func splitTrials(trials, k int) []shardRange {
+	if k > trials {
+		k = trials
+	}
+	if k < 1 {
+		k = 1
+	}
+	out := make([]shardRange, 0, k)
+	for i := 0; i < k; i++ {
+		lo := i * trials / k
+		hi := (i + 1) * trials / k
+		if lo < hi {
+			out = append(out, shardRange{lo: lo, hi: hi})
+		}
+	}
+	return out
+}
+
+// cellHash resolves a sweep cell to its engine.SpecKey hash — the
+// scheduler's routing key. Equal cells (after defaulting) hash equally
+// on every coordinator.
+func cellHash(cell serve.SweepCell) (uint64, error) {
+	sp := engine.Spec{
+		App:                 cell.App,
+		Geometry:            cell.Geometry,
+		Alpha:               cell.Alpha,
+		LaggardThresholdSec: cell.LaggardThresholdSec,
+	}
+	resolved, err := sp.Resolve()
+	if err != nil {
+		return 0, err
+	}
+	return resolved.Key().Hash(), nil
+}
+
+// errorRow assembles a failed cell's row.
+func errorRow(cell serve.SweepCell, err error) serve.SweepRow {
+	return serve.SweepRow{
+		Index:               cell.Index,
+		App:                 cell.App,
+		Geometry:            cell.Geometry,
+		Alpha:               cell.Alpha,
+		LaggardThresholdSec: cell.LaggardThresholdSec,
+		Err:                 err.Error(),
+	}
+}
+
+// DispatchCell implements serve.FleetDispatcher: it shards one sweep
+// cell across the fleet's workers and merges the shard states into the
+// finished row. ok == false means no healthy worker could take some
+// shard — the caller (a coordinating server) should run the cell
+// locally; per-cell request errors (unknown app, bad geometry) come
+// back as error rows with ok == true, exactly as local execution would
+// report them.
+func (f *Fleet) DispatchCell(ctx context.Context, cell serve.SweepCell) (serve.SweepRow, bool) {
+	if f.Healthy() == 0 {
+		return serve.SweepRow{}, false
+	}
+	if err := cell.Geometry.Validate(); err != nil {
+		f.cellsFailed.Add(1)
+		return errorRow(cell, err), true
+	}
+	hash, err := cellHash(cell)
+	if err != nil {
+		f.cellsFailed.Add(1)
+		return errorRow(cell, err), true
+	}
+
+	shards := f.opts.ShardsPerCell
+	if shards <= 0 {
+		shards = f.Healthy()
+	}
+	ranges := splitTrials(cell.Geometry.Trials, shards)
+
+	type shardOutcome struct {
+		resp serve.ShardResponse
+		from *worker
+		err  error
+	}
+	outcomes := make([]shardOutcome, len(ranges))
+	var wg sync.WaitGroup
+	for i, rg := range ranges {
+		wg.Add(1)
+		go func(i int, rg shardRange) {
+			defer wg.Done()
+			req := serve.ShardRequest{
+				App:        cell.App,
+				Geometry:   &cell.Geometry,
+				Alpha:      cell.Alpha,
+				LaggardSec: cell.LaggardThresholdSec,
+				TrialLo:    rg.lo,
+				TrialHi:    rg.hi,
+			}
+			outcomes[i].from, outcomes[i].err = f.dispatch(ctx, hash, i, "/v1/shard", req, &outcomes[i].resp)
+		}(i, rg)
+	}
+	wg.Wait()
+
+	macc := analysis.NewMetricsAccumulator(cell.App, cell.LaggardThresholdSec)
+	tacc := analysis.NewTable1Accumulator(cell.App, cell.Alpha)
+	row := serve.SweepRow{
+		Index:               cell.Index,
+		App:                 cell.App,
+		Geometry:            cell.Geometry,
+		Alpha:               cell.Alpha,
+		LaggardThresholdSec: cell.LaggardThresholdSec,
+		Shards:              len(ranges),
+	}
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.err != nil {
+			if _, bad := o.err.(errCell); bad {
+				// The request itself is invalid: report it as the cell's
+				// error row, as local execution would.
+				f.cellsFailed.Add(1)
+				return errorRow(cell, o.err), true
+			}
+			if ctx.Err() != nil {
+				// The caller cancelled (client gone, deadline hit):
+				// report the cancellation rather than pretending the
+				// fleet is unhealthy — and never hand the cell back for
+				// a pointless full local execution.
+				f.cellsFailed.Add(1)
+				return errorRow(cell, ctx.Err()), true
+			}
+			// A shard could not be placed anywhere: hand the whole cell
+			// back for local execution.
+			return serve.SweepRow{}, false
+		}
+		decM := new(analysis.MetricsAccumulator)
+		if err := decM.UnmarshalBinary(o.resp.MetricsState); err != nil {
+			f.cellsFailed.Add(1)
+			return errorRow(cell, fmt.Errorf("shard %d state: %w", i, err)), true
+		}
+		decT := new(analysis.Table1Accumulator)
+		if err := decT.UnmarshalBinary(o.resp.Table1State); err != nil {
+			f.cellsFailed.Add(1)
+			return errorRow(cell, fmt.Errorf("shard %d table1 state: %w", i, err)), true
+		}
+		macc.Merge(decM)
+		tacc.Merge(decT)
+		row.DatasetCacheHit = row.DatasetCacheHit || o.resp.DatasetCacheHit
+		row.Streamed = row.Streamed || o.resp.Streamed
+		row.ShardWorkers = append(row.ShardWorkers, o.from.url)
+	}
+	row.Metrics = macc.Finalize()
+	row.Table1 = tacc.Finalize()
+	row.Recommendation = core.ClassifyMetrics(row.Metrics)
+	f.cellsMerged.Add(1)
+	return row, true
+}
+
+// Sweep runs a sweep request entirely on the fleet, emitting one row per
+// cell in completion order — the client-side counterpart of a
+// coordinator server's fanned-out /v1/sweep. Cells that cannot be placed
+// (no healthy workers) emit error rows; emit is never called twice for
+// one cell. The request-level error covers grid expansion only.
+func (f *Fleet) Sweep(ctx context.Context, req serve.SweepRequest, emit func(serve.SweepRow)) error {
+	cells, err := req.Cells()
+	if err != nil {
+		return err
+	}
+	var mu sync.Mutex
+	f.eachCell(len(cells), func(i int) {
+		row, ok := f.DispatchCell(ctx, cells[i])
+		if !ok {
+			f.cellsFailed.Add(1)
+			row = errorRow(cells[i], errNotPlaced{})
+		}
+		mu.Lock()
+		emit(row)
+		mu.Unlock()
+	})
+	return nil
+}
+
+// Strategies runs a strategy-grid request on the fleet: each (app,
+// geometry) cell dispatches whole to its rendezvous worker over
+// POST /v1/strategies (strategy rows are self-contained — no accumulator
+// merge needed), with the same failover as sweep shards. Cells that
+// cannot be placed emit error rows.
+func (f *Fleet) Strategies(ctx context.Context, req serve.StrategiesRequest, emit func(serve.StrategyRow)) error {
+	cells, err := req.Cells()
+	if err != nil {
+		return err
+	}
+	var mu sync.Mutex
+	f.eachCell(len(cells), func(i int) {
+		row := f.strategyCell(ctx, req, cells[i])
+		mu.Lock()
+		emit(row)
+		mu.Unlock()
+	})
+	return nil
+}
+
+// strategyCell dispatches one strategy cell and restamps its index.
+func (f *Fleet) strategyCell(ctx context.Context, req serve.StrategiesRequest, cell serve.StrategyCell) serve.StrategyRow {
+	fail := func(err error) serve.StrategyRow {
+		f.cellsFailed.Add(1)
+		return serve.StrategyRow{Index: cell.Index, App: cell.App, Geometry: cell.Geometry, Err: err.Error()}
+	}
+	sp := engine.Spec{App: cell.App, Geometry: cell.Geometry, BytesPerPartition: req.BytesPerPartition}
+	resolved, err := sp.Resolve()
+	if err != nil {
+		return fail(err)
+	}
+
+	single := req
+	single.Apps = []string{cell.App}
+	single.Geometries = []cluster.Config{cell.Geometry}
+	single.GeometryNames = nil
+	single.Stream = false
+	single.Workers = 0
+	var out serve.StrategiesResponse
+	if _, err := f.dispatch(ctx, resolved.Key().Hash(), 0, "/v1/strategies", single, &out); err != nil {
+		return fail(err)
+	}
+	if len(out.Rows) != 1 {
+		return fail(fmt.Errorf("worker returned %d rows for one cell", len(out.Rows)))
+	}
+	row := out.Rows[0]
+	row.Index = cell.Index
+	if row.Err != "" {
+		f.cellsFailed.Add(1)
+	} else {
+		f.cellsMerged.Add(1)
+	}
+	return row
+}
+
+// eachCell runs fn(i) for every cell across a bounded worker pool sized
+// to the fleet's in-flight budget.
+func (f *Fleet) eachCell(n int, fn func(int)) {
+	workers := cap(f.sem)
+	if workers > n {
+		workers = n
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

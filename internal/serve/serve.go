@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"earlybird/internal/cluster"
@@ -63,6 +64,23 @@ type Options struct {
 	// sharing a dataset cache with campaigns run outside the server.
 	// Workers and MaxDatasets are ignored in that case.
 	Engine *engine.Engine
+	// Fleet, when non-nil, turns this server into a federation
+	// coordinator: /v1/sweep cells are dispatched to the fleet's workers
+	// (internal/fleet implements the interface) and only run locally when
+	// no healthy peer can take them. /v1/stats gains a fleet section.
+	Fleet FleetDispatcher
+}
+
+// FleetDispatcher federates sweep cells across remote workers. The serve
+// package defines the interface (internal/fleet provides the
+// implementation) so coordinator wiring never creates an import cycle.
+type FleetDispatcher interface {
+	// DispatchCell executes one cell on the fleet, returning the merged
+	// row. ok == false means the fleet could not place the cell (no
+	// healthy workers) and the caller should run it locally.
+	DispatchCell(ctx context.Context, cell SweepCell) (row SweepRow, ok bool)
+	// Snapshot reports the fleet's registry and traffic counters.
+	Snapshot() FleetSnapshot
 }
 
 // Server is the study service: an http.Handler exposing the /v1 API over
@@ -85,6 +103,11 @@ type Server struct {
 	// cells across all requests — the engine's Workers bound applied at
 	// the service level. Coalesced joiners and cache hits take no slot.
 	sem chan struct{}
+	// fleetCells counts sweep cells answered by the fleet;
+	// fleetFallbacks counts cells the fleet declined (no healthy
+	// workers) that ran locally instead.
+	fleetCells     atomic.Int64
+	fleetFallbacks atomic.Int64
 }
 
 // New returns a ready-to-serve study service.
@@ -132,6 +155,7 @@ func New(opts Options) *Server {
 	s.route("POST", "/v1/campaign", s.handleCampaign)
 	s.route("POST", "/v1/feasibility", s.handleFeasibility)
 	s.route("POST", "/v1/sweep", s.handleSweep)
+	s.route("POST", "/v1/shard", s.handleShard)
 	s.route("POST", "/v1/strategies", s.handleStrategies)
 	s.route("GET", "/v1/stats", s.handleStats)
 	s.route("GET", "/v1/healthz", s.handleHealthz)
@@ -408,6 +432,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	for path, st := range s.endpoints {
 		resp.Endpoints[path] = st.snapshot()
+	}
+	if s.opts.Fleet != nil {
+		snap := s.opts.Fleet.Snapshot()
+		snap.CellsDispatched = s.fleetCells.Load()
+		snap.LocalFallbacks = s.fleetFallbacks.Load()
+		resp.Fleet = &snap
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

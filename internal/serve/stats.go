@@ -54,6 +54,45 @@ type StatsResponse struct {
 	Strategies StudySourceStats `json:"strategy_sources"`
 
 	Engine EngineStats `json:"engine"`
+
+	// Fleet reports the federation layer's registry and traffic when the
+	// server runs as a coordinator (Options.Fleet set); nil otherwise.
+	Fleet *FleetSnapshot `json:"fleet,omitempty"`
+}
+
+// FleetSnapshot is the /v1/stats fleet section: registry state plus the
+// scatter/gather counters of federated sweep execution.
+type FleetSnapshot struct {
+	// Peers and Healthy count the registered and currently healthy
+	// workers.
+	Peers   int `json:"peers"`
+	Healthy int `json:"healthy"`
+	// CellsDispatched counts sweep cells answered by the fleet;
+	// LocalFallbacks counts cells the fleet declined (no healthy worker)
+	// that the coordinator ran itself. Both are coordinator-side.
+	CellsDispatched int64 `json:"cells_dispatched"`
+	LocalFallbacks  int64 `json:"local_fallbacks"`
+	// CellsMerged / CellsFailed count cells whose shard responses merged
+	// cleanly vs cells that errored after exhausting every worker.
+	CellsMerged int64 `json:"cells_merged"`
+	CellsFailed int64 `json:"cells_failed"`
+	// ShardsDispatched counts requests sent to workers — sweep shards
+	// and whole strategy cells, re-dispatches included; Failovers counts
+	// re-dispatches caused by a worker failure.
+	ShardsDispatched int64 `json:"shards_dispatched"`
+	Failovers        int64 `json:"failovers"`
+	// Workers is the per-worker registry view.
+	Workers []FleetWorkerSnapshot `json:"workers"`
+}
+
+// FleetWorkerSnapshot is one worker's row of the fleet section.
+type FleetWorkerSnapshot struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Shards counts shard requests this worker answered successfully;
+	// Failures counts requests it failed (transport errors and 5xx).
+	Shards   int64 `json:"shards"`
+	Failures int64 `json:"failures"`
 }
 
 // StudySourceStats counts study answers by source.

@@ -2,13 +2,13 @@ package serve
 
 import (
 	"fmt"
-	"math"
 	"net/http"
 
 	"earlybird/internal/analysis"
 	"earlybird/internal/cluster"
 	"earlybird/internal/core"
 	"earlybird/internal/engine"
+	"earlybird/internal/fnv"
 	"earlybird/internal/network"
 	"earlybird/internal/partcomm"
 	"earlybird/internal/workload"
@@ -97,11 +97,14 @@ type stratConfig struct {
 	gridHash          uint64
 }
 
-// stratCell is one expanded grid cell.
-type stratCell struct {
-	index int
-	app   string
-	geom  cluster.Config
+// StrategyCell is one expanded (app, geometry) cell of a strategies
+// grid: the unit the handler evaluates locally and the fleet dispatches
+// whole to workers (strategy cells are self-contained, so federation
+// needs no accumulator plumbing — rows merge by concatenation).
+type StrategyCell struct {
+	Index    int            `json:"index"`
+	App      string         `json:"app"`
+	Geometry cluster.Config `json:"geometry"`
 }
 
 // resolve fills the request's defaults and hashes the strategy grid.
@@ -155,32 +158,20 @@ func (req StrategiesRequest) resolve() (stratConfig, error) {
 // grid half of the coalescing key. (The app/geometry/partition/fabric
 // half lives in the engine SpecKey.)
 func (cfg stratConfig) hash() uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	u64 := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= v & 0xff
-			h *= prime64
-			v >>= 8
-		}
-	}
-	u64(uint64(len(cfg.timeoutsSec)))
+	h := fnv.U64(fnv.Offset64, uint64(len(cfg.timeoutsSec)))
 	for _, t := range cfg.timeoutsSec {
-		u64(math.Float64bits(t))
+		h = fnv.F64(h, t)
 	}
-	u64(uint64(len(cfg.ewmaAlphas)))
+	h = fnv.U64(h, uint64(len(cfg.ewmaAlphas)))
 	for _, a := range cfg.ewmaAlphas {
-		u64(math.Float64bits(a))
+		h = fnv.F64(h, a)
 	}
-	u64(math.Float64bits(cfg.laggardThreshold))
-	return h
+	return fnv.F64(h, cfg.laggardThreshold)
 }
 
-// expand builds the (app, geometry) cell grid in app-major order.
-func (req StrategiesRequest) expand() ([]stratCell, error) {
+// Cells expands the request into its (app, geometry) grid, in
+// deterministic app-major order.
+func (req StrategiesRequest) Cells() ([]StrategyCell, error) {
 	if len(req.Apps) == 0 {
 		return nil, fmt.Errorf("strategies request needs at least one app")
 	}
@@ -202,10 +193,10 @@ func (req StrategiesRequest) expand() ([]stratCell, error) {
 	if n > maxSweepCells {
 		return nil, fmt.Errorf("strategy grid has %d cells, limit %d", n, maxSweepCells)
 	}
-	cells := make([]stratCell, 0, n)
+	cells := make([]StrategyCell, 0, n)
 	for _, app := range req.Apps {
 		for _, g := range geoms {
-			cells = append(cells, stratCell{index: len(cells), app: app, geom: g})
+			cells = append(cells, StrategyCell{Index: len(cells), App: app, Geometry: g})
 		}
 	}
 	return cells, nil
@@ -215,10 +206,10 @@ func (req StrategiesRequest) expand() ([]stratCell, error) {
 // carries app, geometry, partition size and fabric; analysis parameters
 // that do not affect the strategy evaluation stay at their defaults so
 // equal cells key equally.
-func (s *Server) cellKey(c stratCell, cfg stratConfig) (strategyCellKey, error) {
+func (s *Server) cellKey(c StrategyCell, cfg stratConfig) (strategyCellKey, error) {
 	sp := engine.Spec{
-		App:               c.app,
-		Geometry:          c.geom,
+		App:               c.App,
+		Geometry:          c.Geometry,
 		BytesPerPartition: cfg.bytesPerPartition,
 		Fabric:            cfg.fabric,
 	}
@@ -233,27 +224,27 @@ func (s *Server) cellKey(c stratCell, cfg stratConfig) (strategyCellKey, error) 
 // statistics stream first (tuning the laggard-aware policy), then every
 // strategy evaluates in a single cursor pass. The nested tensor view is
 // never built.
-func (s *Server) strategyCell(c stratCell, cfg stratConfig) StrategyRow {
+func (s *Server) strategyCell(c StrategyCell, cfg stratConfig) StrategyRow {
 	row := StrategyRow{
-		Index:             c.index,
-		App:               c.app,
-		Geometry:          c.geom,
+		Index:             c.Index,
+		App:               c.App,
+		Geometry:          c.Geometry,
 		BytesPerPartition: cfg.bytesPerPartition,
 	}
-	if err := c.geom.Validate(); err != nil {
+	if err := c.Geometry.Validate(); err != nil {
 		row.Err = err.Error()
 		return row
 	}
-	if n := c.geom.Samples(); n > s.maxStudySamples {
+	if n := c.Geometry.Samples(); n > s.maxStudySamples {
 		row.Err = fmt.Sprintf("geometry has %d samples, over the strategy-evaluation limit %d", n, s.maxStudySamples)
 		return row
 	}
-	model, err := workload.ByName(c.app)
+	model, err := workload.ByName(c.App)
 	if err != nil {
 		row.Err = err.Error()
 		return row
 	}
-	col, hit, err := s.eng.Columnar(model, c.geom)
+	col, hit, err := s.eng.Columnar(model, c.Geometry)
 	if err != nil {
 		row.Err = err.Error()
 		return row
@@ -268,10 +259,10 @@ func (s *Server) strategyCell(c stratCell, cfg stratConfig) StrategyRow {
 // runStrategyCell answers one cell through the coalescing stack: LRU
 // result cache, then singleflight join, then execution under the
 // server's worker semaphore.
-func (s *Server) runStrategyCell(c stratCell, cfg stratConfig) StrategyRow {
+func (s *Server) runStrategyCell(c StrategyCell, cfg stratConfig) StrategyRow {
 	key, err := s.cellKey(c, cfg)
 	if err != nil {
-		return StrategyRow{Index: c.index, App: c.app, Geometry: c.geom,
+		return StrategyRow{Index: c.Index, App: c.App, Geometry: c.Geometry,
 			BytesPerPartition: cfg.bytesPerPartition, Err: err.Error()}
 	}
 	row, src := s.strat.do(key, func() (StrategyRow, bool) {
@@ -282,7 +273,7 @@ func (s *Server) runStrategyCell(c stratCell, cfg stratConfig) StrategyRow {
 	s.stratSources.count(src)
 	// Cached and coalesced answers echo the original execution's row;
 	// re-stamp the identity fields that belong to this request.
-	row.Index = c.index
+	row.Index = c.Index
 	row.Source = src
 	return row
 }
@@ -301,7 +292,7 @@ func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	cells, err := req.expand()
+	cells, err := req.Cells()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

@@ -53,19 +53,29 @@ type SweepRow struct {
 	// (geometry above the cache bound) instead of the cached cursor path.
 	Streamed bool   `json:"streamed"`
 	Err      string `json:"error,omitempty"`
+	// Shards and ShardWorkers report federated execution: how many trial
+	// shards the cell was split into and which workers computed them (in
+	// shard order). Empty for locally computed rows.
+	Shards       int      `json:"shards,omitempty"`
+	ShardWorkers []string `json:"shard_workers,omitempty"`
 }
 
-// sweepCellSpec is one expanded grid cell.
-type sweepCellSpec struct {
-	index   int
-	app     string
-	geom    cluster.Config
-	alpha   float64
-	laggard float64
+// SweepCell is one expanded cell of a sweep grid: the unit the sweep
+// handler computes locally and the fleet scheduler dispatches to
+// workers. Alpha and LaggardThresholdSec are fully resolved (no zero
+// defaults left).
+type SweepCell struct {
+	Index               int            `json:"index"`
+	App                 string         `json:"app"`
+	Geometry            cluster.Config `json:"geometry"`
+	Alpha               float64        `json:"alpha"`
+	LaggardThresholdSec float64        `json:"laggard_threshold_sec"`
 }
 
-// expand builds the grid in deterministic app-major order.
-func (req SweepRequest) expand() ([]sweepCellSpec, error) {
+// Cells expands the request into its grid, in deterministic app-major
+// order (then geometry, alpha, threshold) — the Index of each cell is
+// its position in that order.
+func (req SweepRequest) Cells() ([]SweepCell, error) {
 	if len(req.Apps) == 0 {
 		return nil, fmt.Errorf("sweep needs at least one app")
 	}
@@ -96,13 +106,13 @@ func (req SweepRequest) expand() ([]sweepCellSpec, error) {
 	if n > maxSweepCells {
 		return nil, fmt.Errorf("sweep grid has %d cells, limit %d", n, maxSweepCells)
 	}
-	cells := make([]sweepCellSpec, 0, n)
+	cells := make([]SweepCell, 0, n)
 	for _, app := range req.Apps {
 		for _, g := range geoms {
 			for _, a := range alphas {
 				for _, l := range laggards {
-					cells = append(cells, sweepCellSpec{
-						index: len(cells), app: app, geom: g, alpha: a, laggard: l,
+					cells = append(cells, SweepCell{
+						Index: len(cells), App: app, Geometry: g, Alpha: a, LaggardThresholdSec: l,
 					})
 				}
 			}
@@ -115,38 +125,38 @@ func (req SweepRequest) expand() ([]sweepCellSpec, error) {
 // tensor view: cached geometries read the engine's columnar store
 // through fresh cursors; larger ones run the bounded-memory streaming
 // fill and bypass the cache entirely.
-func (s *Server) sweepCell(c sweepCellSpec) SweepRow {
+func (s *Server) sweepCell(c SweepCell) SweepRow {
 	row := SweepRow{
-		Index:               c.index,
-		App:                 c.app,
-		Geometry:            c.geom,
-		Alpha:               c.alpha,
-		LaggardThresholdSec: c.laggard,
+		Index:               c.Index,
+		App:                 c.App,
+		Geometry:            c.Geometry,
+		Alpha:               c.Alpha,
+		LaggardThresholdSec: c.LaggardThresholdSec,
 	}
-	if err := c.geom.Validate(); err != nil {
+	if err := c.Geometry.Validate(); err != nil {
 		row.Err = err.Error()
 		return row
 	}
-	if c.geom.Samples() <= s.maxSweepSamples {
-		model, err := workload.ByName(c.app)
+	if c.Geometry.Samples() <= s.maxSweepSamples {
+		model, err := workload.ByName(c.App)
 		if err != nil {
 			row.Err = err.Error()
 			return row
 		}
-		col, hit, err := s.eng.Columnar(model, c.geom)
+		col, hit, err := s.eng.Columnar(model, c.Geometry)
 		if err != nil {
 			row.Err = err.Error()
 			return row
 		}
 		row.DatasetCacheHit = hit
-		row.Metrics = analysis.ComputeMetricsStreaming(c.app, col.Cursor(), c.laggard)
-		row.Table1 = analysis.Table1Streaming(c.app, col.Cursor(), c.alpha)
+		row.Metrics = analysis.ComputeMetricsStreaming(c.App, col.Cursor(), c.LaggardThresholdSec)
+		row.Table1 = analysis.Table1Streaming(c.App, col.Cursor(), c.Alpha)
 	} else {
 		res, err := core.StreamStudy(core.Options{
-			App:                 c.app,
-			Geometry:            c.geom,
-			Alpha:               c.alpha,
-			LaggardThresholdSec: c.laggard,
+			App:                 c.App,
+			Geometry:            c.Geometry,
+			Alpha:               c.Alpha,
+			LaggardThresholdSec: c.LaggardThresholdSec,
 		})
 		if err != nil {
 			row.Err = err.Error()
@@ -163,14 +173,17 @@ func (s *Server) sweepCell(c sweepCellSpec) SweepRow {
 // handleSweep streams the grid as NDJSON: one row per cell, written and
 // flushed the moment the cell completes, so clients see results while
 // the rest of the grid is still computing and the server never holds
-// more than the in-flight cells' accumulator state.
+// more than the in-flight cells' accumulator state. With a fleet
+// configured (Options.Fleet), cells fan out to the fleet's workers
+// transparently and only fall back to local execution when no healthy
+// peer can take them.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	cells, err := req.expand()
+	cells, err := req.Cells()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -178,6 +191,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	emit := startNDJSON(w, "X-Sweep-Cells", len(cells))
 	fanOut(len(cells), s.clampWorkers(req.Workers, len(cells)), func(i int) {
+		if s.opts.Fleet != nil {
+			if row, ok := s.opts.Fleet.DispatchCell(r.Context(), cells[i]); ok {
+				s.fleetCells.Add(1)
+				emit(row)
+				return
+			}
+			s.fleetFallbacks.Add(1)
+		}
 		release := s.acquire()
 		row := s.sweepCell(cells[i])
 		release()

@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMomentsBinaryRoundTrip: an unmarshalled Moments must answer every
+// accessor bit-identically and keep accumulating as the original would.
+func TestMomentsBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var m Moments
+	for i := 0; i < 1000; i++ {
+		m.Add(rng.NormFloat64()*3 + 10)
+	}
+
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Moments
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back != m {
+		t.Fatalf("round trip changed state: %+v vs %+v", back, m)
+	}
+
+	// Continue accumulating on both sides: still identical.
+	for i := 0; i < 100; i++ {
+		x := rng.ExpFloat64()
+		m.Add(x)
+		back.Add(x)
+	}
+	if back != m {
+		t.Fatalf("post-round-trip accumulation diverged: %+v vs %+v", back, m)
+	}
+
+	// Deterministic encoding.
+	d2, _ := m.MarshalBinary()
+	d3, _ := m.MarshalBinary()
+	if string(d2) != string(d3) {
+		t.Error("MarshalBinary is not deterministic")
+	}
+}
+
+// TestMomentsBinaryEmpty: the zero accumulator survives the wire too.
+func TestMomentsBinaryEmpty(t *testing.T) {
+	var m Moments
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Moments
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 0 || !math.IsNaN(back.Mean()) {
+		t.Fatalf("empty round trip: %+v", back)
+	}
+	back.Add(4) // must initialise min/max like a fresh accumulator
+	if back.Min() != 4 || back.Max() != 4 {
+		t.Fatalf("empty round trip broke min/max: %v %v", back.Min(), back.Max())
+	}
+}
+
+// TestSketchBinaryRoundTrip: the decoded sketch answers every quantile
+// exactly as the original (post-flush) would, and merging with decoded
+// shards equals merging with the originals.
+func TestSketchBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	q := NewQuantileSketch(64)
+	for i := 0; i < 5000; i++ {
+		q.Add(rng.NormFloat64())
+	}
+
+	data, err := q.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := new(QuantileSketch) // zero value: compression comes off the wire
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != q.N() || back.Min() != q.Min() || back.Max() != q.Max() {
+		t.Fatalf("round trip changed counters: n %d/%d min %v/%v max %v/%v",
+			back.N(), q.N(), back.Min(), q.Min(), back.Max(), q.Max())
+	}
+	for _, p := range []float64{0, 0.05, 0.25, 0.5, 0.75, 0.95, 1} {
+		if got, want := back.Quantile(p), q.Quantile(p); got != want {
+			t.Fatalf("quantile %g: decoded %v vs original %v", p, got, want)
+		}
+	}
+
+	// Continue adding on both sides: still identical observables.
+	for i := 0; i < 500; i++ {
+		x := rng.ExpFloat64()
+		q.Add(x)
+		back.Add(x)
+	}
+	if got, want := back.Quantile(0.5), q.Quantile(0.5); got != want {
+		t.Fatalf("post-round-trip median diverged: %v vs %v", got, want)
+	}
+}
+
+// TestSketchBinaryCorrupt: truncation, bad versions and inconsistent
+// centroid mass are rejected, not silently accepted.
+func TestSketchBinaryCorrupt(t *testing.T) {
+	q := NewQuantileSketch(32)
+	q.AddSlice([]float64{1, 2, 3, 4, 5})
+	data, err := q.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad version": append([]byte{99}, data[1:]...),
+		"truncated":   data[:len(data)-3],
+	}
+	for name, b := range cases {
+		var back QuantileSketch
+		if err := back.UnmarshalBinary(b); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+
+	var m Moments
+	if err := m.UnmarshalBinary(data[:2]); err == nil {
+		t.Error("truncated Moments: expected error")
+	}
+	if err := m.UnmarshalBinary(append([]byte{42}, data[1:]...)); err == nil {
+		t.Error("bad Moments version: expected error")
+	}
+}
+
+// TestSketchBinaryMergeEquivalence: merging decoded shard sketches gives
+// the same observables as merging the originals — the property the
+// fleet's coordinator relies on.
+func TestSketchBinaryMergeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mk := func() *QuantileSketch { return NewQuantileSketch(48) }
+	shards := make([]*QuantileSketch, 3)
+	for i := range shards {
+		shards[i] = mk()
+		for j := 0; j < 2000; j++ {
+			shards[i].Add(rng.NormFloat64() * float64(i+1))
+		}
+	}
+
+	direct := mk()
+	viaWire := mk()
+	for _, s := range shards {
+		data, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dec QuantileSketch
+		if err := dec.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		direct.Merge(s)
+		viaWire.Merge(&dec)
+	}
+	for _, p := range []float64{0.25, 0.5, 0.75} {
+		if got, want := viaWire.Quantile(p), direct.Quantile(p); got != want {
+			t.Fatalf("quantile %g: via wire %v vs direct %v", p, got, want)
+		}
+	}
+}

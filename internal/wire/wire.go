@@ -1,0 +1,121 @@
+// Package wire is the little-endian binary codec under the mergeable
+// accumulators' MarshalBinary/UnmarshalBinary implementations
+// (internal/stats, internal/analysis). One shared implementation
+// matters: the encodings travel between fleet workers and coordinators,
+// so an endianness or bounds-handling fix must not land in one copy and
+// miss another. Floats are encoded as exact bit patterns — decoding
+// reproduces them bit-for-bit.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Writer appends fixed-width little-endian values to Buf.
+type Writer struct{ Buf []byte }
+
+func (w *Writer) U8(v uint8)    { w.Buf = append(w.Buf, v) }
+func (w *Writer) U32(v uint32)  { w.Buf = binary.LittleEndian.AppendUint32(w.Buf, v) }
+func (w *Writer) U64(v uint64)  { w.Buf = binary.LittleEndian.AppendUint64(w.Buf, v) }
+func (w *Writer) I64(v int64)   { w.U64(uint64(v)) }
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bytes writes b with a u32 length prefix.
+func (w *Writer) Bytes(b []byte) {
+	w.U32(uint32(len(b)))
+	w.Buf = append(w.Buf, b...)
+}
+
+// Str writes s with a u32 length prefix.
+func (w *Writer) Str(s string) { w.Bytes([]byte(s)) }
+
+// Reader consumes what Writer produced, failing sticky on truncation:
+// after the first error every read returns zero values and Finish
+// reports the error.
+type Reader struct {
+	buf []byte
+	err error
+}
+
+// NewReader wraps data for decoding.
+func NewReader(data []byte) *Reader { return &Reader{buf: data} }
+
+// Err returns the sticky decode error, nil while decoding is healthy.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns how many undecoded bytes are left (0 after an
+// error).
+func (r *Reader) Remaining() int {
+	if r.err != nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.buf) < n {
+		r.err = fmt.Errorf("wire: truncated state (%d bytes left, need %d)", len(r.buf), n)
+		return nil
+	}
+	b := r.buf[:n]
+	r.buf = r.buf[n:]
+	return b
+}
+
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *Reader) I64() int64   { return int64(r.U64()) }
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bytes reads one length-prefixed byte slice, guarding against length
+// prefixes that overrun the remaining input.
+func (r *Reader) Bytes() []byte {
+	n := r.U32()
+	if r.err == nil && uint64(n) > uint64(len(r.buf)) {
+		r.err = fmt.Errorf("wire: corrupt length prefix %d (%d bytes left)", n, len(r.buf))
+		return nil
+	}
+	return r.take(int(n))
+}
+
+// Str reads one length-prefixed string.
+func (r *Reader) Str() string { return string(r.Bytes()) }
+
+// Finish returns the sticky decode error, or an error if trailing bytes
+// remain after what should have been the complete encoding.
+func (r *Reader) Finish(what string) error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.buf) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes after %s state", len(r.buf), what)
+	}
+	return nil
+}
