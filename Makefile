@@ -37,7 +37,9 @@ bench:
 # recorded as test2json events so the perf trajectory of the data plane
 # accumulates across PRs (acceptance: streaming B/op >= 5x lower).
 # BenchmarkStrategySweep does the same for the strategy lab's evaluator
-# (acceptance: streaming B/op strictly below the materialised path).
+# (acceptance: streaming B/op strictly below the materialised path), and
+# BenchmarkFillDLB for the rebalancing fill loop (static vs LeWI
+# throughput at paper geometry — the cost of the dynamic policy axis).
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkStudy(Streaming|Materialized)$$' \
 		-benchmem -benchtime=3x -json . > BENCH_streaming.json
@@ -45,6 +47,9 @@ bench-json:
 	$(GO) test -run '^$$' -bench '^BenchmarkStrategySweep$$' \
 		-benchmem -benchtime=3x -json ./internal/partcomm > BENCH_strategies.json
 	@grep -oE '[0-9]+ ns/op[^"]*allocs/op' BENCH_strategies.json || true
+	$(GO) test -run '^$$' -bench '^BenchmarkFillDLB$$' \
+		-benchmem -benchtime=3x -json ./internal/cluster > BENCH_dlb.json
+	@grep -oE '[0-9]+ ns/op[^"]*allocs/op' BENCH_dlb.json || true
 
 # Coverage profile + one-line summary + per-package table, uploaded as
 # CI artifacts so the trajectory accumulates across PRs. Fails when the

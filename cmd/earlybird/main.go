@@ -10,6 +10,7 @@
 // Examples:
 //
 //	earlybird -app miniqmc
+//	earlybird -app minife -geometry 2x8x100x48 -dlb lewi  # rebalanced runtime, explicit shape
 //	earlybird -in fe.json -part-bytes 262144 -bin-timeout-ms 0.5
 //	earlybird -app minife -remote http://localhost:8080   # ask a running earlybirdd
 //	earlybird -app miniqmc -strategies                    # full strategy-grid optimizer
@@ -45,8 +46,10 @@ import (
 	"os"
 	"slices"
 
+	"earlybird/internal/cliopts"
 	"earlybird/internal/cluster"
 	"earlybird/internal/core"
+	"earlybird/internal/dlb"
 	"earlybird/internal/fleet"
 	"earlybird/internal/network"
 	"earlybird/internal/partcomm"
@@ -66,7 +69,10 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("earlybird", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		app        = fs.String("app", "", "built-in application (minife|minimd|miniqmc)")
+		app        = cliopts.App(fs)
+		geometry   = cliopts.Geometry(fs)
+		policy     = cliopts.DLB(fs)
+		strategies = cliopts.Strategies(fs)
 		in         = fs.String("in", "", "dataset JSON (alternative to -app)")
 		partBytes  = fs.Int("part-bytes", 1<<20, "bytes per partition (one partition per thread)")
 		timeoutMs  = fs.Float64("bin-timeout-ms", 1.0, "binned-strategy flush timeout (ms)")
@@ -76,7 +82,6 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 		bwGBs      = fs.Float64("bandwidth-gbs", 12.5, "fabric bandwidth (GB/s)")
 		remote     = fs.String("remote", "", "base URL of a running earlybirdd (assess via the service instead of in-process)")
 		fleetCSV   = fs.String("fleet", "", "comma-separated earlybirdd worker URLs: federate the study across them (shards merged client-side)")
-		strategies = fs.Bool("strategies", false, "sweep the full delivery-strategy grid (optimizer frontier) instead of the three-strategy assessment")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -91,6 +96,35 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
+	// The geometry the study runs at: -geometry (shared syntax), or the
+	// legacy -trials/-iters sizing flags around the CLI's 8x48 shape.
+	// Combining the two would silently drop one, so refuse.
+	geom := cliGeometry(*trials, *iters)
+	if geometry.IsSet {
+		for _, name := range []string{"trials", "iters"} {
+			if set[name] {
+				return fmt.Errorf("-geometry and -%s both size the study; use one", name)
+			}
+		}
+		geom = geometry.Config
+	}
+	if policy.IsSet && *in != "" {
+		return fmt.Errorf("-dlb shapes dataset generation; a pre-collected dataset (-in) is already shaped")
+	}
+
+	opts := cli{
+		app:        app.Name,
+		in:         *in,
+		partBytes:  *partBytes,
+		timeoutSec: *timeoutMs * 1e-3,
+		timeouts:   binTimeouts(set, *timeoutMs),
+		geom:       geom,
+		fabric:     network.Fabric{LatencySec: *latencyUs * 1e-6, BandwidthBytesPerSec: *bwGBs * 1e9, OverheadSec: 0.3e-6},
+		strategies: *strategies,
+		dlb:        policy.Spec,
+		dlbSet:     policy.IsSet,
+	}
+
 	switch {
 	case *remote != "" && *fleetCSV != "":
 		return fmt.Errorf("-remote and -fleet are mutually exclusive: a fleet is a set of remotes")
@@ -98,7 +132,7 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 		switch {
 		case *in != "":
 			return fmt.Errorf("-fleet cannot assess a local dataset (-in); datasets do not travel over the wire")
-		case *app == "":
+		case opts.app == "":
 			return fmt.Errorf("-fleet requires -app")
 		}
 		if !*strategies {
@@ -112,19 +146,55 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 				}
 			}
 		}
-		return runFleet(stdout, *fleetCSV, *app, *strategies, *partBytes, binTimeouts(set, *timeoutMs), *trials, *iters, *latencyUs*1e-6, *bwGBs*1e9)
+		return runFleet(stdout, *fleetCSV, opts)
 	case *remote != "":
 		switch {
 		case *in != "":
 			return fmt.Errorf("-remote cannot assess a local dataset (-in); datasets do not travel over the wire")
-		case *app == "":
+		case opts.app == "":
 			return fmt.Errorf("-remote requires -app")
 		case *strategies:
-			return runRemoteStrategies(stdout, *remote, *app, *partBytes, binTimeouts(set, *timeoutMs), *trials, *iters, *latencyUs*1e-6, *bwGBs*1e9)
+			return runRemoteStrategies(stdout, *remote, opts)
 		}
-		return runRemote(stdout, *remote, *app, *partBytes, *timeoutMs*1e-3, *trials, *iters, *latencyUs*1e-6, *bwGBs*1e9)
+		return runRemote(stdout, *remote, opts)
 	}
-	return run(stdout, *app, *in, *partBytes, *timeoutMs*1e-3, *trials, *iters, *latencyUs*1e-6, *bwGBs*1e9, *strategies)
+	return run(stdout, opts)
+}
+
+// cli is the parsed flag state every execution path consumes.
+type cli struct {
+	app        string
+	in         string
+	partBytes  int
+	timeoutSec float64   // -bin-timeout-ms for the three-strategy assessment
+	timeouts   []float64 // explicit strategy-grid timeout axis, nil = standard grid
+	geom       cluster.Config
+	fabric     network.Fabric
+	strategies bool
+	dlb        dlb.Spec
+	dlbSet     bool
+}
+
+// dlbPointer renders the -dlb flag for request fields that take a bare
+// *dlb.Spec (/v1/strategies, shard dispatch): nil when the flag was
+// absent, so the server's default policy (if any) still applies and old
+// wire bytes stay byte-identical.
+func (o cli) dlbPointer() *dlb.Spec {
+	if !o.dlbSet {
+		return nil
+	}
+	d := o.dlb
+	return &d
+}
+
+// policyEnvelope renders the -dlb flag as the /v1 policy envelope; nil
+// when the flag was absent.
+func (o cli) policyEnvelope() *serve.PolicySpec {
+	d := o.dlbPointer()
+	if d == nil {
+		return nil
+	}
+	return &serve.PolicySpec{DLB: d}
 }
 
 // cliGeometry is the geometry the CLI's -trials/-iters flags describe.
@@ -155,7 +225,7 @@ func printSweep(w io.Writer, app string, sw partcomm.Sweep) {
 
 // runFleet federates the study (or the strategy sweep) across a fleet of
 // workers and renders the merged result.
-func runFleet(w io.Writer, peersCSV, app string, strategies bool, partBytes int, timeoutsSec []float64, trials, iters int, latencySec, bwBps float64) error {
+func runFleet(w io.Writer, peersCSV string, o cli) error {
 	fl, err := fleet.New(fleet.Options{Peers: fleet.SplitPeers(peersCSV)})
 	if err != nil {
 		return err
@@ -164,15 +234,16 @@ func runFleet(w io.Writer, peersCSV, app string, strategies bool, partBytes int,
 	if healthy := fl.Probe(ctx); healthy == 0 {
 		return fmt.Errorf("no healthy workers among %v", fl.Workers())
 	}
-	geom := cliGeometry(trials, iters)
 
-	if strategies {
+	if o.strategies {
+		fabric := o.fabric
 		req := serve.StrategiesRequest{
-			Apps:              []string{app},
-			Geometries:        []cluster.Config{geom},
-			BytesPerPartition: partBytes,
-			TimeoutsSec:       timeoutsSec,
-			Fabric:            &network.Fabric{LatencySec: latencySec, BandwidthBytesPerSec: bwBps, OverheadSec: 0.3e-6},
+			Apps:              []string{o.app},
+			Geometries:        []cluster.Config{o.geom},
+			BytesPerPartition: o.partBytes,
+			TimeoutsSec:       o.timeouts,
+			Fabric:            &fabric,
+			DLB:               o.dlbPointer(),
 		}
 		var rows []serve.StrategyRow
 		if err := fl.Strategies(ctx, req, func(r serve.StrategyRow) { rows = append(rows, r) }); err != nil {
@@ -190,7 +261,10 @@ func runFleet(w io.Writer, peersCSV, app string, strategies bool, partBytes int,
 		return nil
 	}
 
-	req := serve.SweepRequest{Apps: []string{app}, Geometries: []cluster.Config{geom}}
+	req := serve.SweepRequest{Apps: []string{o.app}, Geometries: []cluster.Config{o.geom}}
+	if o.dlbSet {
+		req.DLBs = []dlb.Spec{o.dlb}
+	}
 	var rows []serve.SweepRow
 	if err := fl.Sweep(ctx, req, func(r serve.SweepRow) { rows = append(rows, r) }); err != nil {
 		return err
@@ -210,13 +284,15 @@ func runFleet(w io.Writer, peersCSV, app string, strategies bool, partBytes int,
 
 // runRemoteStrategies asks a running study service for the optimizer
 // sweep (POST /v1/strategies, single cell, JSON mode).
-func runRemoteStrategies(w io.Writer, base, app string, partBytes int, timeoutsSec []float64, trials, iters int, latencySec, bwBps float64) error {
+func runRemoteStrategies(w io.Writer, base string, o cli) error {
+	fabric := o.fabric
 	req := serve.StrategiesRequest{
-		Apps:              []string{app},
-		Geometries:        []cluster.Config{cliGeometry(trials, iters)},
-		BytesPerPartition: partBytes,
-		TimeoutsSec:       timeoutsSec,
-		Fabric:            &network.Fabric{LatencySec: latencySec, BandwidthBytesPerSec: bwBps, OverheadSec: 0.3e-6},
+		Apps:              []string{o.app},
+		Geometries:        []cluster.Config{o.geom},
+		BytesPerPartition: o.partBytes,
+		TimeoutsSec:       o.timeouts,
+		Fabric:            &fabric,
+		DLB:               o.dlbPointer(),
 	}
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -246,14 +322,15 @@ func runRemoteStrategies(w io.Writer, base, app string, partBytes int, timeoutsS
 }
 
 // runRemote asks a running study service for the assessment.
-func runRemote(w io.Writer, base, app string, partBytes int, timeoutSec float64, trials, iters int, latencySec, bwBps float64) error {
-	geom := cliGeometry(trials, iters)
+func runRemote(w io.Writer, base string, o cli) error {
+	geom, fabric := o.geom, o.fabric
 	spec := serve.StudySpec{
-		App:               app,
+		App:               o.app,
 		Geometry:          &geom,
-		BytesPerPartition: partBytes,
-		BinTimeoutSec:     timeoutSec,
-		Fabric:            &network.Fabric{LatencySec: latencySec, BandwidthBytesPerSec: bwBps, OverheadSec: 0.3e-6},
+		BytesPerPartition: o.partBytes,
+		BinTimeoutSec:     o.timeoutSec,
+		Fabric:            &fabric,
+		Policy:            o.policyEnvelope(),
 	}
 	body, err := json.Marshal(spec)
 	if err != nil {
@@ -277,14 +354,14 @@ func runRemote(w io.Writer, base, app string, partBytes int, timeoutSec float64,
 	return nil
 }
 
-func run(w io.Writer, app, in string, partBytes int, timeoutSec float64, trials, iters int, latencySec, bwBps float64, strategies bool) error {
+func run(w io.Writer, o cli) error {
 	var (
 		study *core.Study
 		err   error
 	)
 	switch {
-	case in != "":
-		f, err2 := os.Open(in)
+	case o.in != "":
+		f, err2 := os.Open(o.in)
 		if err2 != nil {
 			return err2
 		}
@@ -294,10 +371,11 @@ func run(w io.Writer, app, in string, partBytes int, timeoutSec float64, trials,
 			return err
 		}
 		study, err = core.FromDataset(ds)
-	case app != "":
+	case o.app != "":
 		study, err = core.NewStudy(core.Options{
-			App:      app,
-			Geometry: cliGeometry(trials, iters),
+			App:      o.app,
+			Geometry: o.geom,
+			Policy:   core.PolicySpec{DLB: o.dlb},
 		})
 	default:
 		return fmt.Errorf("one of -app or -in is required")
@@ -306,15 +384,14 @@ func run(w io.Writer, app, in string, partBytes int, timeoutSec float64, trials,
 		return err
 	}
 
-	fabric := network.Fabric{LatencySec: latencySec, BandwidthBytesPerSec: bwBps, OverheadSec: 0.3e-6}
-	if err := fabric.Validate(); err != nil {
+	if err := o.fabric.Validate(); err != nil {
 		return err
 	}
-	if strategies {
-		printSweep(w, study.App(), study.StrategySweep(partBytes, fabric, nil))
+	if o.strategies {
+		printSweep(w, study.App(), study.StrategySweep(o.partBytes, o.fabric, nil))
 		return nil
 	}
-	a := study.Feasibility(partBytes, fabric, timeoutSec)
+	a := study.Feasibility(o.partBytes, o.fabric, o.timeoutSec)
 	fmt.Fprint(w, a)
 	return nil
 }

@@ -38,6 +38,13 @@ func TestRunMainConflicts(t *testing.T) {
 		"fleet sweep drops feasibility flags": {
 			"-app", "minife", "-fleet", "http://x", "-bin-timeout-ms", "0.5"},
 		"missing input file": {"-in", "does-not-exist.json"},
+		"unknown app":        {"-app", "lulesh"},
+		"bad geometry":       {"-app", "minife", "-geometry", "3x4"},
+		"bad dlb":            {"-app", "minife", "-dlb", "nope"},
+		"dlb cross param":    {"-app", "minife", "-dlb", "lewi:reaction=3"},
+		"geometry vs trials": {"-app", "minife", "-geometry", "quick", "-trials", "2"},
+		"geometry vs iters":  {"-app", "minife", "-geometry", "quick", "-iters", "8"},
+		"dlb with in":        {"-in", "fe.json", "-dlb", "lewi"},
 	}
 	for name, args := range cases {
 		if _, err := runCmd(t, args...); err == nil {
@@ -55,6 +62,29 @@ func TestRunMainLocalAssessment(t *testing.T) {
 	// "-> fine-grained" or "-> sophisticated").
 	if !strings.Contains(out, "potential overlap") || !strings.Contains(out, "-> ") {
 		t.Fatalf("assessment verdict missing:\n%s", out)
+	}
+}
+
+// TestRunMainGeometryDLB runs a local study through the shared -geometry
+// and -dlb flags: an explicit shape with enough ranks for LeWI to fire,
+// and an assessment that must differ from the static one on the same
+// shape (the rebalanced dataset has different bits).
+func TestRunMainGeometryDLB(t *testing.T) {
+	static, err := runCmd(t, "-app", "minife", "-geometry", "1x4x12x48")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lewi, err := runCmd(t, "-app", "minife", "-geometry", "1x4x12x48", "-dlb", "lewi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, out := range map[string]string{"static": static, "lewi": lewi} {
+		if !strings.Contains(out, "-> ") {
+			t.Fatalf("%s assessment verdict missing:\n%s", name, out)
+		}
+	}
+	if static == lewi {
+		t.Error("lewi rebalancing produced the static assessment verbatim")
 	}
 }
 
@@ -79,6 +109,18 @@ func TestRunMainRemote(t *testing.T) {
 	}
 }
 
+// TestRunMainRemoteDLB sends the -dlb flag over the /v1 policy envelope.
+func TestRunMainRemoteDLB(t *testing.T) {
+	ts := newService(t)
+	out, err := runCmd(t, "-app", "minife", "-geometry", "1x4x8x48", "-dlb", "drom:reaction=2", "-remote", ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "served by "+ts.URL) || !strings.Contains(out, "-> ") {
+		t.Fatalf("remote rebalanced assessment missing:\n%s", out)
+	}
+}
+
 func TestRunMainRemoteStrategies(t *testing.T) {
 	ts := newService(t)
 	out, err := runCmd(t, "-app", "miniqmc", "-trials", "1", "-iters", "8", "-strategies", "-remote", ts.URL)
@@ -95,7 +137,7 @@ func TestRunMainRemoteStrategies(t *testing.T) {
 func TestRunMainFleet(t *testing.T) {
 	w1, w2 := newService(t), newService(t)
 	out, err := runCmd(t, "-app", "minife", "-trials", "2", "-iters", "8",
-		"-fleet", w1.URL+","+w2.URL)
+		"-dlb", "lewi", "-fleet", w1.URL+","+w2.URL)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"earlybird/internal/cliopts"
 	"earlybird/internal/fleet"
 	"earlybird/internal/serve"
 )
@@ -62,6 +63,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		peers         = fs.String("peers", "", "comma-separated earlybirdd worker URLs; serve as a federation coordinator, fanning sweeps out over /v1/shard")
 		shardsPerCell = fs.Int("shards-per-cell", 0, "trial shards per federated sweep cell (0 = one per healthy peer)")
 		probeEvery    = fs.Duration("probe-interval", 5*time.Second, "how often the coordinator re-probes peer health")
+		policy        = cliopts.DLB(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -88,6 +90,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		MaxDatasets:           *maxDatasets,
 		MaxCachedSweepSamples: *maxSweep,
 		MaxStudySamples:       *maxStudy,
+		DefaultDLB:            policy.Spec,
+	}
+	if !policy.Spec.IsStatic() {
+		fmt.Fprintf(stdout, "earlybirdd: default rebalancing policy %s (requests may override via their policy envelope)\n", policy.Spec)
 	}
 	if *peers != "" {
 		fl, err := fleet.New(fleet.Options{Peers: fleet.SplitPeers(*peers), ShardsPerCell: *shardsPerCell})

@@ -34,6 +34,8 @@ func TestRunErrors(t *testing.T) {
 		"unexpected args": {"extra"},
 		"bad peer url":    {"-peers", "not-a-url"},
 		"listener error":  {"-addr", "127.0.0.1:999999"},
+		"bad dlb":         {"-dlb", "nope"},
+		"dlb cross param": {"-dlb", "drom:factor=2"},
 	}
 	for name, args := range cases {
 		if _, err := runCmd(t, ctx, args...); err == nil {
@@ -59,6 +61,23 @@ func TestRunServeAndDrain(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestRunDefaultDLB: -dlb sets the server-wide default rebalancing
+// policy and announces it at startup.
+func TestRunDefaultDLB(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	out, err := runCmd(t, ctx, "-addr", "127.0.0.1:0", "-dlb", "lewi:factor=1.5", "-drain-timeout", "5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "default rebalancing policy lewi:factor=1.5") {
+		t.Errorf("policy banner missing:\n%s", out)
 	}
 }
 

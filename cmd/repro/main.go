@@ -18,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"earlybird/internal/cliopts"
 	"earlybird/internal/cluster"
 	"earlybird/internal/engine"
 	"earlybird/internal/experiments"
@@ -37,11 +38,13 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		quick   = fs.Bool("quick", false, "reduced geometry (3x4x60x48) for a fast run")
-		exp     = fs.String("exp", "all", "experiment: all | E1 | E2 | table1 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | metrics | overlap | strategies | ablation | distsweep | campaign")
-		figdir  = fs.String("figdir", "", "directory to write figure CSV data into")
-		seed    = fs.Uint64("seed", 1, "master seed")
-		workers = fs.Int("workers", 0, "max concurrently executing studies (0 = one per CPU)")
+		quick    = fs.Bool("quick", false, "reduced geometry (3x4x60x48) for a fast run; shorthand for -geometry quick")
+		geometry = cliopts.Geometry(fs)
+		policy   = cliopts.DLB(fs)
+		exp      = fs.String("exp", "all", "experiment: all | E1 | E2 | table1 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | metrics | overlap | strategies | dlb | ablation | distsweep | campaign")
+		figdir   = fs.String("figdir", "", "directory to write figure CSV data into")
+		seed     = fs.Uint64("seed", 1, "master seed")
+		workers  = fs.Int("workers", 0, "max concurrently executing studies (0 = one per CPU)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -52,12 +55,21 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	if *quick && geometry.IsSet {
+		return fmt.Errorf("-quick and -geometry both size the run; use one")
+	}
 
 	cfg := experiments.Default()
 	if *quick {
 		cfg = experiments.Quick()
 	}
+	if geometry.IsSet {
+		cfg.Cluster = geometry.Config
+	}
 	cfg.Cluster.Seed = *seed
+	// The base rebalancing policy every suite dataset is generated under.
+	// E15 crosses all policies regardless, from this policy's baseline.
+	cfg.DLB = policy.Spec
 	eng := engine.New(*workers)
 	suite := experiments.NewSuiteOn(cfg, eng)
 	return run(suite, *exp, *figdir, stdout)
@@ -167,6 +179,8 @@ func run(s *experiments.Suite, exp, figdir string, w io.Writer) error {
 		}
 	case "strategies", "E14", "frontier":
 		s.WriteStrategyFrontier(w)
+	case "dlb", "E15":
+		s.WriteDLBReport(w)
 	case "ablation":
 		s.WriteAblationReport(w)
 	case "distsweep":

@@ -20,6 +20,9 @@ func TestRunMainErrors(t *testing.T) {
 		"unknown flag":       {"-nope"},
 		"unexpected args":    {"extra"},
 		"unknown experiment": {"-quick", "-exp", "nope"},
+		"bad geometry":       {"-geometry", "3x4"},
+		"bad dlb":            {"-dlb", "nope"},
+		"quick vs geometry":  {"-quick", "-geometry", "quick"},
 	}
 	for name, args := range cases {
 		if _, err := runCmd(t, args...); err == nil {
@@ -37,6 +40,29 @@ func TestRunMainTable1Quick(t *testing.T) {
 		if !strings.Contains(out, app) {
 			t.Errorf("table1 output missing %s:\n%s", app, out)
 		}
+	}
+}
+
+// TestRunMainGeometryDLB sizes a run with the shared -geometry syntax
+// and rebases every suite dataset on a rebalancing policy via -dlb.
+func TestRunMainGeometryDLB(t *testing.T) {
+	static, err := runCmd(t, "-geometry", "1x4x12x48", "-exp", "metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lewi, err := runCmd(t, "-geometry", "1x4x12x48", "-dlb", "lewi", "-exp", "metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range []string{"minife", "minimd", "miniqmc"} {
+		if !strings.Contains(static, app) {
+			t.Errorf("metrics output missing %s:\n%s", app, static)
+		}
+	}
+	// minife rebalances at this shape, so the suite-wide policy must
+	// change the reported metrics.
+	if static == lewi {
+		t.Error("-dlb lewi reproduced the static metrics verbatim")
 	}
 }
 

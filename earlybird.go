@@ -66,6 +66,7 @@ import (
 	"earlybird/internal/analysis"
 	"earlybird/internal/cluster"
 	"earlybird/internal/core"
+	"earlybird/internal/dlb"
 	"earlybird/internal/engine"
 	"earlybird/internal/fleet"
 	"earlybird/internal/network"
@@ -93,6 +94,31 @@ const (
 	RecommendFineGrained   = core.RecommendFineGrained
 	RecommendSophisticated = core.RecommendSophisticated
 )
+
+// PolicySpec bundles a study's policy axes — the delivery-strategy set,
+// the runtime rebalancing (DLB) policy the dataset is generated under,
+// the normality significance level and the laggard rule — as
+// Options.Policy. Zero fields inherit the paper's defaults, and the
+// flat Options fields keep working for existing callers.
+type PolicySpec = core.PolicySpec
+
+// DLBSpec selects and parameterises a runtime rebalancing policy: the
+// static thread layout (the zero value), LeWI lend-when-idle, or
+// DROM-style reassignment with a reaction latency. It joins the engine
+// cache key, so differently balanced runs never share a dataset.
+type DLBSpec = dlb.Spec
+
+// Rebalancing policy names for DLBSpec.Policy.
+const (
+	DLBStatic = dlb.PolicyStatic
+	DLBLeWI   = dlb.PolicyLeWI
+	DLBDROM   = dlb.PolicyDROM
+)
+
+// ParseDLB reads the CLI form of a rebalancing policy — "static",
+// "lewi:factor=1.5,lend=0.3", "drom:reaction=2" — as accepted by the
+// commands' shared -dlb flag; DLBSpec.String renders it back.
+func ParseDLB(text string) (DLBSpec, error) { return dlb.Parse(text) }
 
 // Geometry is a study size (trials x ranks x iterations x threads).
 type Geometry = cluster.Config

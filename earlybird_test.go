@@ -40,6 +40,45 @@ func TestFacadeGeometries(t *testing.T) {
 	}
 }
 
+// TestFacadePolicyDLB drives the unified policy axis through the
+// facade: a LeWI-rebalanced study must differ from the static one at a
+// geometry with enough ranks for lending to fire, and the CLI policy
+// syntax round-trips through ParseDLB.
+func TestFacadePolicyDLB(t *testing.T) {
+	geom := earlybird.Geometry{Trials: 1, Ranks: 4, Iterations: 12, Threads: 48, Seed: 1}
+	static, err := earlybird.NewStudy(earlybird.Options{App: "minife", Geometry: geom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := earlybird.ParseDLB("lewi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if policy.Policy != earlybird.DLBLeWI {
+		t.Fatalf("ParseDLB(lewi) = %+v", policy)
+	}
+	lewi, err := earlybird.NewStudy(earlybird.Options{
+		App:      "minife",
+		Geometry: geom,
+		Policy:   earlybird.PolicySpec{DLB: policy},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.Metrics() == lewi.Metrics() {
+		t.Error("LeWI rebalancing left the study metrics bit-identical to static")
+	}
+	if _, err := earlybird.ParseDLB("nope"); err == nil {
+		t.Error("ParseDLB(nope): expected error")
+	}
+	if _, err := earlybird.NewStudy(earlybird.Options{
+		App:    "minife",
+		Policy: earlybird.PolicySpec{DLB: earlybird.DLBSpec{Policy: "bogus"}},
+	}); err == nil {
+		t.Error("bogus DLB policy: expected error")
+	}
+}
+
 func TestFacadeDatasetRoundTrip(t *testing.T) {
 	study, err := earlybird.NewStudy(earlybird.Options{
 		App:      "minife",

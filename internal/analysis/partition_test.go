@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"earlybird/internal/cluster"
+	"earlybird/internal/dlb"
 	"earlybird/internal/trace"
 	"earlybird/internal/workload"
 )
@@ -127,6 +128,69 @@ func TestPartitionInvariance(t *testing.T) {
 		}
 		if relErr(got.IQRMaxSec, want.IQRMaxSec) > 0.15 {
 			t.Fatalf("round %d: IQRMaxSec merged %v vs single-node %v (>15%%)", round, got.IQRMaxSec, want.IQRMaxSec)
+		}
+	}
+}
+
+// TestPartitionInvarianceDLB extends the federation soundness property
+// across the rebalancing axis: because LeWI/DROM balancer state is
+// strictly per-trial, any trial partition of a rebalanced study must
+// merge bit-identically to its single-node run — same property, new
+// policy axis. The geometry uses 4 ranks so the policies actually fire
+// (each round also proves it by checking the rebalanced bits differ
+// from static).
+func TestPartitionInvarianceDLB(t *testing.T) {
+	model := workload.DefaultMiniFE()
+	cfg := cluster.Config{Trials: 5, Ranks: 4, Iterations: 10, Threads: 48, Seed: 1}
+	static, err := cluster.RunColumnar(model, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staticRef := ComputeMetricsStreaming(model.Name(), static.Cursor(), DefaultLaggardThresholdSec)
+
+	rng := rand.New(rand.NewSource(53))
+	for _, policy := range []dlb.Spec{
+		{Policy: dlb.PolicyLeWI},
+		{Policy: dlb.PolicyDROM, ReactionIters: 2},
+	} {
+		col, err := cluster.RunColumnarDLB(model, cfg, policy, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := ComputeMetricsStreaming(model.Name(), col.Cursor(), DefaultLaggardThresholdSec)
+		if ref == staticRef {
+			t.Fatalf("%s: rebalancing did not change the data at %+v; the invariance round is vacuous", policy.Name(), cfg)
+		}
+
+		// Random trial partition, wire round trip, random merge order —
+		// the fleet coordinator's view of a rebalanced sweep cell.
+		shards := 2 + rng.Intn(cfg.Trials-1)
+		shardOf := make([]int, cfg.Trials)
+		for trial := range shardOf {
+			shardOf[trial] = rng.Intn(shards)
+		}
+		mAccs, _ := foldByShard(t, col.Cursor(), model.Name(), DefaultLaggardThresholdSec, 0.05, shardOf, shards)
+		root := NewMetricsAccumulator(model.Name(), DefaultLaggardThresholdSec)
+		for _, s := range rng.Perm(shards) {
+			enc, err := mAccs[s].MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec := new(MetricsAccumulator)
+			if err := dec.UnmarshalBinary(enc); err != nil {
+				t.Fatal(err)
+			}
+			root.Merge(dec)
+		}
+		got := root.Finalize()
+		if got.MeanMedianSec != ref.MeanMedianSec ||
+			got.LaggardFraction != ref.LaggardFraction ||
+			got.AvgReclaimableProcSec != ref.AvgReclaimableProcSec ||
+			got.IdleRatioProc != ref.IdleRatioProc ||
+			got.AvgReclaimableAppIterSec != ref.AvgReclaimableAppIterSec ||
+			got.IdleRatioAppIter != ref.IdleRatioAppIter {
+			t.Fatalf("%s (%d shards): merged shards not bit-identical under rebalancing:\n got %+v\nwant %+v",
+				policy.Name(), shards, got, ref)
 		}
 	}
 }

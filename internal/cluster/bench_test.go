@@ -3,6 +3,7 @@ package cluster
 import (
 	"testing"
 
+	"earlybird/internal/dlb"
 	"earlybird/internal/workload"
 )
 
@@ -16,6 +17,26 @@ func BenchmarkRunQuickGeometry(b *testing.B) {
 		b.Run(m.Name(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := Run(m, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFillDLB measures full-study fill throughput at the paper's
+// geometry (10 x 8 x 200 x 48 = 768000 samples) under the static layout
+// and under LeWI rebalancing — the comparison make bench-json publishes
+// as BENCH_dlb.json. The delta is the cost of the trial-major fill plus
+// the per-iteration balancer decisions.
+func BenchmarkFillDLB(b *testing.B) {
+	cfg := DefaultConfig()
+	model := workload.DefaultMiniFE()
+	for _, policy := range []dlb.Spec{{}, {Policy: dlb.PolicyLeWI}} {
+		b.Run(policy.Name(), func(b *testing.B) {
+			b.SetBytes(int64(cfg.Samples()) * 8)
+			for i := 0; i < b.N; i++ {
+				if _, err := RunColumnarDLB(model, cfg, policy, 0); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync"
 
+	"earlybird/internal/dlb"
 	"earlybird/internal/rng"
 	"earlybird/internal/trace"
 	"earlybird/internal/workload"
@@ -72,6 +73,17 @@ func Run(model workload.Model, cfg Config) (*trace.Dataset, error) {
 	return RunWorkers(model, cfg, 0)
 }
 
+// RunDLB is Run under a rebalancing policy: thread ownership shifts
+// between ranks at iteration boundaries as the policy dictates, and the
+// sample times reflect the shifted allocations (see RunStreamDLB).
+func RunDLB(model workload.Model, cfg Config, policy dlb.Spec) (*trace.Dataset, error) {
+	col, err := RunColumnarDLB(model, cfg, policy, 0)
+	if err != nil {
+		return nil, err
+	}
+	return col.Dataset(), nil
+}
+
 // RunWorkers is Run with an explicit bound on the number of fill
 // goroutines; workers <= 0 means one per CPU. The campaign engine uses
 // this to divide the machine between concurrently executing studies
@@ -89,11 +101,16 @@ func RunWorkers(model workload.Model, cfg Config, workers int) (*trace.Dataset, 
 // fingerprint is accumulated stripe-by-stripe while the samples are
 // produced, so Seal pays no second pass over the data.
 func RunColumnar(model workload.Model, cfg Config, workers int) (*trace.Columnar, error) {
+	return RunColumnarDLB(model, cfg, dlb.Spec{}, workers)
+}
+
+// RunColumnarDLB is RunColumnar under a rebalancing policy.
+func RunColumnarDLB(model workload.Model, cfg Config, policy dlb.Spec, workers int) (*trace.Columnar, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	sink := trace.NewSink(model.Name(), cfg.Trials, cfg.Ranks, cfg.Iterations, cfg.Threads)
-	if _, err := RunStream(model, cfg, workers, sink, nil); err != nil {
+	if _, err := RunStreamDLB(model, cfg, policy, workers, sink, nil); err != nil {
 		return nil, err
 	}
 	return sink.Seal()
@@ -123,7 +140,32 @@ type BlockObserver interface {
 // observer state must be merge-order-independent (as the mergeable
 // accumulators in stats and analysis are).
 func RunStream(model workload.Model, cfg Config, workers int, sink *trace.Sink, newObserver func() BlockObserver) ([]BlockObserver, error) {
+	return RunStreamDLB(model, cfg, dlb.Spec{}, workers, sink, newObserver)
+}
+
+// RunStreamDLB is RunStream under a dynamic load-balancing policy.
+//
+// The static policy (the zero Spec) takes the historical fill path —
+// one task per (trial, rank), no cross-rank coupling — and is
+// bit-identical to the pre-DLB runtime. Rebalancing policies couple the
+// ranks of a trial through the balancer: at every iteration boundary the
+// policy sees the trial's per-rank finish times and re-divides the
+// trial's thread budget, and a rank running on alloc threads instead of
+// its base complement has its (fixed-size) sample block scaled by
+// base/alloc — the work-conserving model of running the same work on
+// fewer or more cores. Those policies therefore fill trial-major: one
+// task per trial, iterations in order, every rank of the iteration
+// filled before the balancer decides the next one. Rebalancing is
+// strictly per-trial, so trial-sharded federation remains exact under
+// any policy, and determinism in cfg.Seed is preserved because the RNG
+// coordinates of every sample block are unchanged — only the
+// deterministic post-scale differs.
+func RunStreamDLB(model workload.Model, cfg Config, policy dlb.Spec, workers int, sink *trace.Sink, newObserver func() BlockObserver) ([]BlockObserver, error) {
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	resolved, err := policy.Resolve()
+	if err != nil {
 		return nil, err
 	}
 	if sink != nil {
@@ -133,14 +175,23 @@ func RunStream(model workload.Model, cfg Config, workers int, sink *trace.Sink, 
 				sink.Trials(), sink.Ranks(), sink.Iterations(), sink.Threads(), cfg)
 		}
 	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if resolved.IsStatic() {
+		return runStreamStatic(model, cfg, workers, sink, newObserver)
+	}
+	return runStreamBalanced(model, cfg, resolved, workers, sink, newObserver)
+}
+
+// runStreamStatic is the historical fill loop: one task per
+// (trial, rank), blocks produced in iteration order within the task.
+func runStreamStatic(model workload.Model, cfg Config, workers int, sink *trace.Sink, newObserver func() BlockObserver) ([]BlockObserver, error) {
 	root := rng.New(cfg.Seed)
 
 	type job struct{ trial, rank int }
 	jobs := make(chan job)
 	var wg sync.WaitGroup
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
 	if workers > cfg.Trials*cfg.Ranks {
 		workers = cfg.Trials * cfg.Ranks
 	}
@@ -188,6 +239,102 @@ func RunStream(model workload.Model, cfg Config, workers int, sink *trace.Sink, 
 	close(jobs)
 	wg.Wait()
 	return observers, nil
+}
+
+// runStreamBalanced fills trial-major under a resolved non-static
+// policy: each task owns one whole trial (its balancer, its ranks'
+// stripes) and walks iterations in order so the balancer always decides
+// iteration i+1 from iteration i's finishes. Distinct trials still fill
+// concurrently; within a task the per-stripe append contract of
+// trace.Sink is honoured because a single goroutine owns all of the
+// trial's stripe writers.
+func runStreamBalanced(model workload.Model, cfg Config, policy dlb.Spec, workers int, sink *trace.Sink, newObserver func() BlockObserver) ([]BlockObserver, error) {
+	root := rng.New(cfg.Seed)
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+	var observers []BlockObserver
+	for w := 0; w < workers; w++ {
+		var obs BlockObserver
+		if newObserver != nil {
+			obs = newObserver()
+			observers = append(observers, obs)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch []float64
+			if sink == nil {
+				scratch = make([]float64, cfg.Threads)
+			}
+			finish := make([]float64, cfg.Ranks)
+			var writers []*trace.StripeWriter
+			for trial := range jobs {
+				bal := policy.NewBalancer(cfg.Ranks, cfg.Threads)
+				if sink != nil {
+					writers = writers[:0]
+					for r := 0; r < cfg.Ranks; r++ {
+						writers = append(writers, sink.Stripe(trial, r))
+					}
+				}
+				for i := 0; i < cfg.Iterations; i++ {
+					alloc := bal.Alloc(i)
+					for r := 0; r < cfg.Ranks; r++ {
+						t, r, i := trial, r, i
+						var out []float64
+						if sink != nil {
+							out = writers[r].AppendWith(func(out []float64) {
+								model.FillProcessIteration(root, t, r, i, out)
+								scaleBlock(out, cfg.Threads, alloc[r])
+							})
+						} else {
+							model.FillProcessIteration(root, t, r, i, scratch)
+							scaleBlock(scratch, cfg.Threads, alloc[r])
+							out = scratch
+						}
+						finish[r] = blockMax(out)
+						if obs != nil {
+							obs.ObserveBlock(t, r, i, out)
+						}
+					}
+					bal.Observe(i, finish)
+				}
+			}
+		}()
+	}
+	for t := 0; t < cfg.Trials; t++ {
+		jobs <- t
+	}
+	close(jobs)
+	wg.Wait()
+	return observers, nil
+}
+
+// scaleBlock applies the work-conserving core-count model: the same
+// block of work on alloc threads instead of base takes base/alloc times
+// as long per sample.
+func scaleBlock(out []float64, base, alloc int) {
+	if alloc == base || alloc <= 0 {
+		return
+	}
+	f := float64(base) / float64(alloc)
+	for i := range out {
+		out[i] *= f
+	}
+}
+
+// blockMax returns the block's finish time: the max over its samples.
+func blockMax(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
 }
 
 // MustRun is Run for known-good configurations; it panics on error.

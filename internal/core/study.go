@@ -15,6 +15,7 @@ import (
 
 	"earlybird/internal/analysis"
 	"earlybird/internal/cluster"
+	"earlybird/internal/dlb"
 	"earlybird/internal/network"
 	"earlybird/internal/partcomm"
 	"earlybird/internal/stats"
@@ -22,6 +23,27 @@ import (
 	"earlybird/internal/trace"
 	"earlybird/internal/workload"
 )
+
+// PolicySpec bundles every policy axis of a study in one value: the
+// delivery-strategy set the feasibility assessment evaluates, the
+// runtime rebalancing (DLB) policy the samples are generated under, and
+// the two analysis thresholds. It is the unified policy surface shared
+// by core.Options, the serve layer's request envelope and the facade;
+// zero fields fill with the paper's defaults.
+type PolicySpec struct {
+	// Strategies is the delivery-strategy set Feasibility evaluates; nil
+	// means the paper's three (bulk, fine-grained, binned at the
+	// assessment's timeout). Stateful strategies are cloned per study,
+	// so one PolicySpec may safely configure concurrent studies.
+	Strategies []partcomm.Strategy
+	// DLB selects the runtime rebalancing policy the dataset is
+	// generated under; the zero value is the static thread layout.
+	DLB dlb.Spec
+	// Alpha is the normality significance level; zero means 5%.
+	Alpha float64
+	// LaggardThresholdSec is the laggard rule; zero means 1 ms.
+	LaggardThresholdSec float64
+}
 
 // Options configures a study.
 type Options struct {
@@ -33,15 +55,61 @@ type Options struct {
 	// Geometry is the study size; zero value means the paper's
 	// 10 x 8 x 200 x 48.
 	Geometry cluster.Config
+	// Policy bundles the study's policy axes. Zero fields inherit the
+	// matching deprecated flat field below, then the paper defaults, so
+	// both spellings keep working; on conflict Policy wins.
+	Policy PolicySpec
+
 	// Alpha is the normality significance level; zero means 5%.
+	//
+	// Deprecated: set Policy.Alpha. Kept as an adapter for pre-PolicySpec
+	// callers.
 	Alpha float64
 	// LaggardThresholdSec is the laggard rule; zero means 1 ms.
+	//
+	// Deprecated: set Policy.LaggardThresholdSec.
 	LaggardThresholdSec float64
 	// Strategies overrides the delivery-strategy set Feasibility
 	// evaluates; nil means the paper's three (bulk, fine-grained, binned
-	// at the assessment's timeout). Adaptive strategies carry evaluation
-	// state, so the slice must not be shared across concurrent studies.
+	// at the assessment's timeout).
+	//
+	// Deprecated: set Policy.Strategies.
 	Strategies []partcomm.Strategy
+}
+
+// fillPolicy merges the deprecated flat fields into Policy, applies the
+// paper defaults, canonicalises the DLB spec and clones stateful
+// strategies, then mirrors the resolved values back onto the flat
+// fields so either spelling reads the same after resolution.
+func (o *Options) fillPolicy() error {
+	if o.Policy.Alpha == 0 {
+		o.Policy.Alpha = o.Alpha
+	}
+	if o.Policy.LaggardThresholdSec == 0 {
+		o.Policy.LaggardThresholdSec = o.LaggardThresholdSec
+	}
+	if o.Policy.Strategies == nil {
+		o.Policy.Strategies = o.Strategies
+	}
+	if o.Policy.Alpha == 0 {
+		o.Policy.Alpha = normality.DefaultAlpha
+	}
+	if o.Policy.LaggardThresholdSec == 0 {
+		o.Policy.LaggardThresholdSec = analysis.DefaultLaggardThresholdSec
+	}
+	resolved, err := o.Policy.DLB.Resolve()
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	o.Policy.DLB = resolved
+	// Stateful strategies (e.g. *partcomm.EWMABinned) must not be shared
+	// across concurrent studies; cloning here makes one Options value
+	// safe to reuse however the caller likes.
+	o.Policy.Strategies = partcomm.CloneSet(o.Policy.Strategies)
+	o.Alpha = o.Policy.Alpha
+	o.LaggardThresholdSec = o.Policy.LaggardThresholdSec
+	o.Strategies = o.Policy.Strategies
+	return nil
 }
 
 func (o *Options) fill() error {
@@ -58,13 +126,7 @@ func (o *Options) fill() error {
 	if o.Geometry == (cluster.Config{}) {
 		o.Geometry = cluster.DefaultConfig()
 	}
-	if o.Alpha == 0 {
-		o.Alpha = normality.DefaultAlpha
-	}
-	if o.LaggardThresholdSec == 0 {
-		o.LaggardThresholdSec = analysis.DefaultLaggardThresholdSec
-	}
-	return nil
+	return o.fillPolicy()
 }
 
 // Study is a collected thread-timing dataset plus the analysis
@@ -79,7 +141,7 @@ func NewStudy(opts Options) (*Study, error) {
 	if err := opts.fill(); err != nil {
 		return nil, err
 	}
-	ds, err := cluster.Run(opts.Model, opts.Geometry)
+	ds, err := cluster.RunDLB(opts.Model, opts.Geometry, opts.Policy.DLB)
 	if err != nil {
 		return nil, err
 	}
@@ -106,11 +168,8 @@ func FromDatasetWith(ds *trace.Dataset, opts Options) (*Study, error) {
 	}
 	opts.App = ds.App
 	opts.Model = nil
-	if opts.Alpha == 0 {
-		opts.Alpha = normality.DefaultAlpha
-	}
-	if opts.LaggardThresholdSec == 0 {
-		opts.LaggardThresholdSec = analysis.DefaultLaggardThresholdSec
+	if err := opts.fillPolicy(); err != nil {
+		return nil, err
 	}
 	return &Study{opts: opts, ds: ds}, nil
 }
@@ -257,7 +316,7 @@ func (s *Study) Feasibility(bytesPerPart int, fabric network.Fabric, binTimeoutS
 		LaggardFraction:     analysis.Laggards(s.ds, effThreshold).Fraction,
 	}
 	a.IQRToMedian = m.IQRToMedian()
-	strategies := s.opts.Strategies
+	strategies := s.opts.Policy.Strategies
 	if strategies == nil {
 		strategies = []partcomm.Strategy{
 			partcomm.Bulk{},

@@ -1,0 +1,228 @@
+package dlb
+
+import "sort"
+
+// Balancer is one trial's rebalancing state machine. The fill loop asks
+// Alloc for the per-rank thread allocation of iteration iter, fills and
+// times the iteration, then reports the per-rank finish times through
+// Observe. Balancers are strictly single-trial and single-goroutine;
+// the fill loop creates one per trial via Spec.NewBalancer.
+type Balancer interface {
+	// Alloc returns the per-rank thread counts in effect for iteration
+	// iter. The returned slice is owned by the balancer and valid until
+	// the next Alloc or Observe call; callers must not mutate it.
+	Alloc(iter int) []int
+	// Observe reports iteration iter's per-rank finish times (seconds,
+	// the max over the rank's thread samples) so the balancer can
+	// update the allocation of subsequent iterations.
+	Observe(iter int, finishSec []float64)
+}
+
+// NewBalancer builds a fresh balancer for one trial of ranks x
+// threadsPerRank. The spec is resolved first; an invalid spec falls
+// back to static, because callers are expected to have validated at
+// the API boundary.
+func (s Spec) NewBalancer(ranks, threadsPerRank int) Balancer {
+	r, err := s.Resolve()
+	if err != nil || r.IsStatic() {
+		return staticBalancer{alloc: uniform(ranks, threadsPerRank)}
+	}
+	switch r.Policy {
+	case PolicyLeWI:
+		return &lewiBalancer{
+			base:   threadsPerRank,
+			factor: r.LaggardFactor,
+			lend:   r.MaxLendFraction,
+			alloc:  uniform(ranks, threadsPerRank),
+			next:   uniform(ranks, threadsPerRank),
+		}
+	case PolicyDROM:
+		return &dromBalancer{
+			base:     threadsPerRank,
+			reaction: r.ReactionIters,
+			alloc:    uniform(ranks, threadsPerRank),
+		}
+	}
+	return staticBalancer{alloc: uniform(ranks, threadsPerRank)}
+}
+
+func uniform(ranks, threads int) []int {
+	a := make([]int, ranks)
+	for i := range a {
+		a[i] = threads
+	}
+	return a
+}
+
+// staticBalancer is the fixed layout: every rank keeps its base
+// complement forever.
+type staticBalancer struct{ alloc []int }
+
+func (b staticBalancer) Alloc(int) []int        { return b.alloc }
+func (b staticBalancer) Observe(int, []float64) {}
+
+// lewiBalancer re-decides lending at every iteration boundary from the
+// previous iteration's finishes alone: lenders take their threads back
+// implicitly each round (LeWI lends at blocking points, and a borrowed
+// core returns when its owner needs it again), so allocation never
+// drifts — it is always base plus/minus this round's loans.
+type lewiBalancer struct {
+	base   int
+	factor float64
+	lend   float64
+	alloc  []int
+	next   []int
+}
+
+func (b *lewiBalancer) Alloc(int) []int { return b.alloc }
+
+func (b *lewiBalancer) Observe(_ int, finish []float64) {
+	n := len(b.alloc)
+	for r := 0; r < n; r++ {
+		b.next[r] = b.base
+	}
+	b.alloc, b.next = b.next, b.alloc
+
+	med, maxF := medianMax(finish)
+	if maxF <= 0 || med <= 0 {
+		return
+	}
+	cut := b.factor * med
+	var laggards []int
+	pool := 0
+	for r := 0; r < n; r++ {
+		if finish[r] > cut {
+			laggards = append(laggards, r)
+			continue
+		}
+		// Idle share of the iteration: the fraction of the laggard-bound
+		// wall time this rank spent waiting at the barrier.
+		idle := (maxF - finish[r]) / maxF
+		loan := int(b.lend * float64(b.base) * idle)
+		if loan > b.base-1 {
+			loan = b.base - 1
+		}
+		if loan > 0 {
+			b.alloc[r] -= loan
+			pool += loan
+		}
+	}
+	if pool == 0 || len(laggards) == 0 || len(laggards) == n {
+		// Nothing lent, nobody to lend to, or everyone lags (then there
+		// is no idle capacity to redistribute): keep the base layout.
+		for r := 0; r < n; r++ {
+			b.alloc[r] = b.base
+		}
+		return
+	}
+	// Split the pool across laggards proportionally to how far each
+	// exceeds the median, largest-remainder on the leftovers so the loan
+	// count is conserved exactly.
+	deficit := make([]float64, len(laggards))
+	var sum float64
+	for i, r := range laggards {
+		deficit[i] = finish[r] - med
+		sum += deficit[i]
+	}
+	granted := apportion(deficit, pool, 0)
+	for i, r := range laggards {
+		b.alloc[r] += granted[i]
+	}
+}
+
+// dromBalancer owns the whole machine's cores and reassigns them
+// proportionally to measured load, with a reaction latency: a target
+// computed from iteration i applies from iteration i+reaction, and no
+// new measurement is taken while one is pending, so ownership changes
+// at most every reaction iterations.
+type dromBalancer struct {
+	base     int
+	reaction int
+	alloc    []int
+	pending  []int
+	applyAt  int
+}
+
+func (b *dromBalancer) Alloc(iter int) []int {
+	if b.pending != nil && iter >= b.applyAt {
+		b.alloc, b.pending = b.pending, nil
+	}
+	return b.alloc
+}
+
+func (b *dromBalancer) Observe(iter int, finish []float64) {
+	if b.pending != nil {
+		return
+	}
+	n := len(b.alloc)
+	load := make([]float64, n)
+	var sum float64
+	for r := 0; r < n; r++ {
+		// Work executed this iteration ~ finish time x threads assigned.
+		load[r] = finish[r] * float64(b.alloc[r])
+		sum += load[r]
+	}
+	if sum <= 0 {
+		return
+	}
+	b.pending = apportion(load, n*b.base, 1)
+	b.applyAt = iter + b.reaction
+}
+
+// apportion splits total units across len(weight) slots proportionally
+// to weight, giving every slot at least min, using largest-remainder
+// rounding (ties broken by slot index) so the result always sums to
+// exactly total and is deterministic.
+func apportion(weight []float64, total, min int) []int {
+	n := len(weight)
+	out := make([]int, n)
+	var sum float64
+	for _, w := range weight {
+		sum += w
+	}
+	spare := total - n*min
+	if sum <= 0 || spare < 0 {
+		// Degenerate: spread evenly.
+		for i := range out {
+			out[i] = total / n
+		}
+		for i := 0; i < total%n; i++ {
+			out[i]++
+		}
+		return out
+	}
+	type frac struct {
+		idx int
+		rem float64
+	}
+	fr := make([]frac, n)
+	used := 0
+	for i, w := range weight {
+		exact := float64(spare) * w / sum
+		whole := int(exact)
+		out[i] = min + whole
+		used += whole
+		fr[i] = frac{i, exact - float64(whole)}
+	}
+	sort.SliceStable(fr, func(a, b int) bool { return fr[a].rem > fr[b].rem })
+	for i := 0; i < spare-used; i++ {
+		out[fr[i%n].idx]++
+	}
+	return out
+}
+
+// medianMax returns the median and maximum of xs without mutating it.
+func medianMax(xs []float64) (med, max float64) {
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n == 0 {
+		return 0, 0
+	}
+	if n%2 == 1 {
+		med = tmp[n/2]
+	} else {
+		med = 0.5 * (tmp[n/2-1] + tmp[n/2])
+	}
+	return med, tmp[n-1]
+}

@@ -1,0 +1,255 @@
+package dlb
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSpecResolveCanonical(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Spec
+		want Spec
+	}{
+		{"zero", Spec{}, Spec{}},
+		{"static-name", Spec{Policy: PolicyStatic}, Spec{}},
+		{"lewi-defaults", Spec{Policy: PolicyLeWI}, Spec{Policy: PolicyLeWI, LaggardFactor: DefaultLaggardFactor, MaxLendFraction: DefaultMaxLendFraction}},
+		{"lewi-explicit-defaults", Spec{Policy: PolicyLeWI, LaggardFactor: 1.25, MaxLendFraction: 0.5}, Spec{Policy: PolicyLeWI, LaggardFactor: 1.25, MaxLendFraction: 0.5}},
+		{"drom-defaults", Spec{Policy: PolicyDROM}, Spec{Policy: PolicyDROM, ReactionIters: DefaultReactionIters}},
+		{"drom-explicit", Spec{Policy: PolicyDROM, ReactionIters: 2}, Spec{Policy: PolicyDROM, ReactionIters: 2}},
+	}
+	for _, c := range cases {
+		got, err := c.in.Resolve()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: got %+v want %+v", c.name, got, c.want)
+		}
+	}
+	// Spelled-out defaults and bare policy names must canonicalise to the
+	// same comparable value — equal behaviour, equal cache key.
+	a, _ := Spec{Policy: PolicyLeWI}.Resolve()
+	b, _ := Spec{Policy: PolicyLeWI, LaggardFactor: DefaultLaggardFactor, MaxLendFraction: DefaultMaxLendFraction}.Resolve()
+	if a != b || a.Hash(17) != b.Hash(17) {
+		t.Fatalf("canonical forms differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestSpecValidateRejects(t *testing.T) {
+	bad := []Spec{
+		{Policy: "lewi2"},
+		{Policy: PolicyStatic, LaggardFactor: 1.5},
+		{Policy: PolicyLeWI, LaggardFactor: 0.5},
+		{Policy: PolicyLeWI, MaxLendFraction: 1.5},
+		{Policy: PolicyLeWI, MaxLendFraction: -0.1},
+		{Policy: PolicyLeWI, ReactionIters: 3},
+		{Policy: PolicyDROM, ReactionIters: -1},
+		{Policy: PolicyDROM, LaggardFactor: 1.5},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", s)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		text string
+		want Spec
+	}{
+		{"static", Spec{Policy: PolicyStatic}},
+		{"lewi", Spec{Policy: PolicyLeWI}},
+		{"lewi:factor=1.5,lend=0.3", Spec{Policy: PolicyLeWI, LaggardFactor: 1.5, MaxLendFraction: 0.3}},
+		{"drom", Spec{Policy: PolicyDROM}},
+		{"drom:reaction=2", Spec{Policy: PolicyDROM, ReactionIters: 2}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.text, err)
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %+v want %+v", c.text, got, c.want)
+		}
+		back, err := Parse(got.String())
+		if err != nil || back != got {
+			t.Errorf("round trip %q -> %q -> %+v (err %v)", c.text, got.String(), back, err)
+		}
+	}
+	for _, text := range []string{"", "turbo", "lewi:reaction=1", "lewi:factor=abc", "lewi:factor", "drom:lend=0.5", "lewi:speed=3"} {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse(%q) accepted", text)
+		}
+	}
+}
+
+func TestSpecJSONZeroIsEmpty(t *testing.T) {
+	b, err := json.Marshal(Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "{}" {
+		t.Fatalf("zero spec marshals to %s, want {}", b)
+	}
+	var s Spec
+	if err := json.Unmarshal([]byte(`{"policy":"lewi","laggard_factor":1.5}`), &s); err != nil {
+		t.Fatal(err)
+	}
+	if (s != Spec{Policy: PolicyLeWI, LaggardFactor: 1.5}) {
+		t.Fatalf("decoded %+v", s)
+	}
+}
+
+func TestSpecHashDistinguishesPolicies(t *testing.T) {
+	specs := []Spec{
+		{},
+		{Policy: PolicyLeWI, LaggardFactor: 1.25, MaxLendFraction: 0.5},
+		{Policy: PolicyLeWI, LaggardFactor: 1.5, MaxLendFraction: 0.5},
+		{Policy: PolicyDROM, ReactionIters: 4},
+		{Policy: PolicyDROM, ReactionIters: 2},
+	}
+	seen := map[uint64]Spec{}
+	for _, s := range specs {
+		h := s.Hash(14695981039346656037)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("hash collision between %+v and %+v", prev, s)
+		}
+		seen[h] = s
+	}
+}
+
+func sumInts(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// TestStaticBalancerFixed: the static policy never moves a thread.
+func TestStaticBalancerFixed(t *testing.T) {
+	b := Spec{}.NewBalancer(4, 48)
+	finish := []float64{1, 2, 3, 4}
+	for i := 0; i < 5; i++ {
+		alloc := b.Alloc(i)
+		for r, a := range alloc {
+			if a != 48 {
+				t.Fatalf("iter %d rank %d alloc %d", i, r, a)
+			}
+		}
+		b.Observe(i, finish)
+	}
+}
+
+// TestLeWILendsToLaggard: with one clear laggard, idle ranks lend and
+// the laggard's allocation grows, while the total is conserved and no
+// rank drops below one thread.
+func TestLeWILendsToLaggard(t *testing.T) {
+	spec, _ := Spec{Policy: PolicyLeWI}.Resolve()
+	b := spec.NewBalancer(4, 48)
+	finish := []float64{1.0, 1.0, 1.0, 3.0} // rank 3 lags hard
+	b.Observe(0, finish)
+	alloc := b.Alloc(1)
+	if sumInts(alloc) != 4*48 {
+		t.Fatalf("total not conserved: %v", alloc)
+	}
+	if alloc[3] <= 48 {
+		t.Fatalf("laggard did not gain threads: %v", alloc)
+	}
+	for r := 0; r < 3; r++ {
+		if alloc[r] >= 48 || alloc[r] < 1 {
+			t.Fatalf("lender alloc out of range: %v", alloc)
+		}
+	}
+	// A balanced iteration returns everyone to base.
+	b.Observe(1, []float64{1, 1, 1, 1})
+	for _, a := range b.Alloc(2) {
+		if a != 48 {
+			t.Fatalf("balanced finishes should restore base: %v", b.Alloc(2))
+		}
+	}
+}
+
+// TestLeWIAllLaggardsKeepsBase: when every rank exceeds the cut (or
+// none does) there is no idle capacity to move.
+func TestLeWIAllLaggardsKeepsBase(t *testing.T) {
+	spec, _ := Spec{Policy: PolicyLeWI}.Resolve()
+	b := spec.NewBalancer(3, 8)
+	b.Observe(0, []float64{0, 0, 0}) // degenerate: all-zero finishes
+	for _, a := range b.Alloc(1) {
+		if a != 8 {
+			t.Fatalf("zero finishes must keep base: %v", b.Alloc(1))
+		}
+	}
+}
+
+// TestDROMReactionLatency: a target computed at iteration 0 must not
+// take effect before iteration reaction, and must conserve the total.
+func TestDROMReactionLatency(t *testing.T) {
+	spec, _ := Spec{Policy: PolicyDROM, ReactionIters: 3}.Resolve()
+	b := spec.NewBalancer(2, 8)
+	b.Observe(0, []float64{1.0, 3.0})
+	for i := 1; i < 3; i++ {
+		alloc := b.Alloc(i)
+		if alloc[0] != 8 || alloc[1] != 8 {
+			t.Fatalf("iter %d: reassignment applied early: %v", i, alloc)
+		}
+		b.Observe(i, []float64{1.0, 3.0})
+	}
+	alloc := b.Alloc(3)
+	if sumInts(alloc) != 16 {
+		t.Fatalf("total not conserved: %v", alloc)
+	}
+	if alloc[1] <= alloc[0] {
+		t.Fatalf("loaded rank did not gain: %v", alloc)
+	}
+	for _, a := range alloc {
+		if a < 1 {
+			t.Fatalf("rank starved: %v", alloc)
+		}
+	}
+}
+
+// TestBalancerDeterminism: identical finish sequences produce identical
+// allocation sequences.
+func TestBalancerDeterminism(t *testing.T) {
+	for _, policy := range []Spec{{Policy: PolicyLeWI}, {Policy: PolicyDROM}} {
+		spec, _ := policy.Resolve()
+		a := spec.NewBalancer(6, 12)
+		b := spec.NewBalancer(6, 12)
+		finish := make([]float64, 6)
+		for i := 0; i < 40; i++ {
+			for r := range finish {
+				finish[r] = 1 + float64((i*7+r*13)%9)/3
+			}
+			av, bv := a.Alloc(i), b.Alloc(i)
+			for r := range av {
+				if av[r] != bv[r] {
+					t.Fatalf("%s iter %d diverged: %v vs %v", spec.Name(), i, av, bv)
+				}
+			}
+			if sumInts(av) != 6*12 {
+				t.Fatalf("%s iter %d total %d", spec.Name(), i, sumInts(av))
+			}
+			a.Observe(i, finish)
+			b.Observe(i, finish)
+		}
+	}
+}
+
+func TestApportion(t *testing.T) {
+	got := apportion([]float64{1, 1, 2}, 8, 1)
+	if sumInts(got) != 8 {
+		t.Fatalf("sum %v", got)
+	}
+	if got[2] <= got[0] {
+		t.Fatalf("heavier slot did not gain: %v", got)
+	}
+	// Zero weights: even split.
+	even := apportion([]float64{0, 0}, 5, 1)
+	if sumInts(even) != 5 {
+		t.Fatalf("even split sum: %v", even)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"earlybird/internal/analysis"
 	"earlybird/internal/cluster"
 	"earlybird/internal/core"
+	"earlybird/internal/dlb"
 	"earlybird/internal/fnv"
 	"earlybird/internal/network"
 	"earlybird/internal/stats/normality"
@@ -46,6 +47,11 @@ type Spec struct {
 	// BinTimeoutSec is the binned delivery strategy's flush timeout;
 	// zero means 1 ms.
 	BinTimeoutSec float64
+	// DLB selects the runtime rebalancing policy the dataset is produced
+	// under; the zero value is the static (pre-DLB) layout. Part of the
+	// dataset cache key and the dedup key: differently balanced runs
+	// never share either.
+	DLB dlb.Spec
 }
 
 // Resolve returns the spec with every zero field replaced by its paper
@@ -91,6 +97,11 @@ func (sp Spec) fill() (Spec, error) {
 	if sp.BinTimeoutSec == 0 {
 		sp.BinTimeoutSec = 1e-3
 	}
+	resolvedDLB, err := sp.DLB.Resolve()
+	if err != nil {
+		return sp, fmt.Errorf("engine: %w", err)
+	}
+	sp.DLB = resolvedDLB
 	return sp, nil
 }
 
@@ -108,6 +119,7 @@ type SpecKey struct {
 	bytesPerPartition   int
 	fabric              network.Fabric
 	binTimeoutSec       float64
+	dlb                 dlb.Spec
 }
 
 // Key returns the spec's deduplication key. Only meaningful on resolved
@@ -123,6 +135,7 @@ func (sp Spec) Key() SpecKey {
 		bytesPerPartition:   sp.BytesPerPartition,
 		fabric:              sp.Fabric,
 		binTimeoutSec:       sp.BinTimeoutSec,
+		dlb:                 sp.DLB,
 	}
 }
 
@@ -147,6 +160,7 @@ func (k SpecKey) Hash() uint64 {
 	h = fnv.F64(h, k.fabric.BandwidthBytesPerSec)
 	h = fnv.F64(h, k.fabric.OverheadSec)
 	h = fnv.F64(h, k.binTimeoutSec)
+	h = k.dlb.Hash(h)
 	return h
 }
 
@@ -280,14 +294,17 @@ func (e *Engine) execute(sp Spec, concurrency int) Result {
 	// Preloaded datasets bypass the cache and never count as hits.
 	ds, hit, err := sp.Dataset, false, error(nil)
 	if ds == nil {
-		ds, hit, err = e.dataset(sp.Model, sp.Geometry, concurrency)
+		ds, hit, err = e.dataset(sp.Model, sp.Geometry, sp.DLB, concurrency)
 	}
 	var r Result
 	r.Spec = sp
 	if err == nil {
 		r.Study, err = core.FromDatasetWith(ds, core.Options{
-			Alpha:               sp.Alpha,
-			LaggardThresholdSec: sp.LaggardThresholdSec,
+			Policy: core.PolicySpec{
+				DLB:                 sp.DLB,
+				Alpha:               sp.Alpha,
+				LaggardThresholdSec: sp.LaggardThresholdSec,
+			},
 		})
 	}
 	if err != nil {

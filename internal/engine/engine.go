@@ -7,17 +7,23 @@ import (
 	"sync/atomic"
 
 	"earlybird/internal/cluster"
+	"earlybird/internal/dlb"
 	"earlybird/internal/trace"
 	"earlybird/internal/workload"
 )
 
 // Key is the content address of a generated dataset: the workload model's
-// name plus the full geometry including the master seed. Two specs with
-// equal keys receive the identical dataset, so custom models must use
-// distinct names for distinct parameterisations.
+// name plus the full geometry including the master seed, plus the
+// canonical DLB policy under which the samples were produced — a
+// rebalanced run yields different times than a static one, so the two
+// must never share a cache entry. Two specs with equal keys receive the
+// identical dataset, so custom models must use distinct names for
+// distinct parameterisations. DLB must be in canonical (resolved) form;
+// the zero Spec is the static policy, keeping pre-DLB keys meaningful.
 type Key struct {
 	Model    string
 	Geometry cluster.Config
+	DLB      dlb.Spec
 }
 
 // cacheEntry single-flights one dataset generation: the first goroutine
@@ -139,14 +145,25 @@ func (e *Engine) trimLocked() {
 // cache without triggering the generation. Callers must not mutate the
 // returned dataset.
 func (e *Engine) Dataset(model workload.Model, geom cluster.Config) (*trace.Dataset, bool, error) {
-	return e.dataset(model, geom, 1)
+	return e.dataset(model, geom, dlb.Spec{}, 1)
+}
+
+// DatasetDLB is Dataset under a rebalancing policy; each distinct
+// resolved policy is its own cache entry.
+func (e *Engine) DatasetDLB(model workload.Model, geom cluster.Config, policy dlb.Spec) (*trace.Dataset, bool, error) {
+	return e.dataset(model, geom, policy, 1)
 }
 
 // Columnar is Dataset in the cache's native form: the flat columnar store
 // streaming consumers read through cursors, without ever building the
 // nested view. Callers must not mutate the returned store.
 func (e *Engine) Columnar(model workload.Model, geom cluster.Config) (*trace.Columnar, bool, error) {
-	entry, hit, err := e.entry(model, geom, 1)
+	return e.ColumnarDLB(model, geom, dlb.Spec{})
+}
+
+// ColumnarDLB is Columnar under a rebalancing policy.
+func (e *Engine) ColumnarDLB(model workload.Model, geom cluster.Config, policy dlb.Spec) (*trace.Columnar, bool, error) {
+	entry, hit, err := e.entry(model, geom, policy, 1)
 	if err != nil {
 		return nil, hit, err
 	}
@@ -157,6 +174,11 @@ func (e *Engine) Columnar(model workload.Model, geom cluster.Config) (*trace.Col
 // concurrently — dataset generation only, no analysis — dividing the
 // machine fairly between them. Already-cached datasets cost nothing.
 func (e *Engine) Prefetch(models []workload.Model, geom cluster.Config) error {
+	return e.PrefetchDLB(models, geom, dlb.Spec{})
+}
+
+// PrefetchDLB is Prefetch under a rebalancing policy.
+func (e *Engine) PrefetchDLB(models []workload.Model, geom cluster.Config, policy dlb.Spec) error {
 	concurrent := e.workers
 	if concurrent > len(models) {
 		concurrent = len(models)
@@ -170,7 +192,7 @@ func (e *Engine) Prefetch(models []workload.Model, geom cluster.Config) error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			_, _, errs[i] = e.dataset(m, geom, concurrent)
+			_, _, errs[i] = e.dataset(m, geom, policy, concurrent)
 		}(i, m)
 	}
 	wg.Wait()
@@ -181,8 +203,8 @@ func (e *Engine) Prefetch(models []workload.Model, geom cluster.Config) error {
 // know their fan-out up front (campaigns, Prefetch), so every generation
 // in a batch gets its fair share of CPUs from the start instead of early
 // starters over-allocating.
-func (e *Engine) dataset(model workload.Model, geom cluster.Config, hint int) (*trace.Dataset, bool, error) {
-	entry, hit, err := e.entry(model, geom, hint)
+func (e *Engine) dataset(model workload.Model, geom cluster.Config, policy dlb.Spec, hint int) (*trace.Dataset, bool, error) {
+	entry, hit, err := e.entry(model, geom, policy, hint)
 	if err != nil {
 		return nil, hit, err
 	}
@@ -193,10 +215,16 @@ func (e *Engine) dataset(model workload.Model, geom cluster.Config, hint int) (*
 	return entry.ds, hit, nil
 }
 
-// entry resolves (model, geometry) to its single-flighted cache entry,
-// generating the columnar store on first request.
-func (e *Engine) entry(model workload.Model, geom cluster.Config, hint int) (*cacheEntry, bool, error) {
-	key := Key{Model: model.Name(), Geometry: geom}
+// entry resolves (model, geometry, policy) to its single-flighted cache
+// entry, generating the columnar store on first request. The policy is
+// canonicalised before keying so spelled-out defaults and bare policy
+// names share an entry.
+func (e *Engine) entry(model workload.Model, geom cluster.Config, policy dlb.Spec, hint int) (*cacheEntry, bool, error) {
+	policy, err := policy.Resolve()
+	if err != nil {
+		return nil, false, err
+	}
+	key := Key{Model: model.Name(), Geometry: geom, DLB: policy}
 	e.mu.Lock()
 	entry, ok := e.cache[key]
 	if !ok {
@@ -222,7 +250,7 @@ func (e *Engine) entry(model workload.Model, geom cluster.Config, hint int) (*ca
 		if hint > concurrent {
 			concurrent = hint
 		}
-		entry.col, entry.err = cluster.RunColumnar(model, geom, e.innerWorkers(concurrent))
+		entry.col, entry.err = cluster.RunColumnarDLB(model, geom, key.DLB, e.innerWorkers(concurrent))
 	})
 	return entry, hit, entry.err
 }

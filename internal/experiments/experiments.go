@@ -11,6 +11,7 @@ import (
 
 	"earlybird/internal/analysis"
 	"earlybird/internal/cluster"
+	"earlybird/internal/dlb"
 	"earlybird/internal/engine"
 	"earlybird/internal/network"
 	"earlybird/internal/partcomm"
@@ -37,6 +38,11 @@ type Config struct {
 	Fabric network.Fabric
 	// BinTimeoutSec is the timeout of the binned delivery strategy.
 	BinTimeoutSec float64
+	// DLB is the runtime rebalancing policy the suite's datasets are
+	// generated under; the zero value is the paper's fixed (static)
+	// thread layout. E15 crosses the delivery strategies against every
+	// policy regardless of this base setting.
+	DLB dlb.Spec
 }
 
 // Default returns the paper's configuration.
@@ -106,7 +112,7 @@ func (s *Suite) Dataset(app string) *trace.Dataset {
 	if !ok {
 		panic(fmt.Sprintf("experiments: unknown app %q", app))
 	}
-	d, _, err := s.eng.Dataset(m, s.cfg.Cluster)
+	d, _, err := s.eng.DatasetDLB(m, s.cfg.Cluster, s.cfg.DLB)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %s: %v", app, err))
 	}
@@ -122,7 +128,7 @@ func (s *Suite) Warm() error {
 	for _, app := range AppNames {
 		models = append(models, s.models[app])
 	}
-	return s.eng.Prefetch(models, s.cfg.Cluster)
+	return s.eng.PrefetchDLB(models, s.cfg.Cluster, s.cfg.DLB)
 }
 
 // E1AppLevelNormality tests the full application aggregation per app
@@ -304,7 +310,7 @@ func (s *Suite) E14StrategyTimeouts() []float64 {
 func (s *Suite) E14StrategyFrontier() map[string]partcomm.Sweep {
 	out := map[string]partcomm.Sweep{}
 	for _, app := range AppNames {
-		col, _, err := s.eng.Columnar(s.models[app], s.cfg.Cluster)
+		col, _, err := s.eng.ColumnarDLB(s.models[app], s.cfg.Cluster, s.cfg.DLB)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: %s: %v", app, err))
 		}

@@ -129,6 +129,9 @@ func (s *Suite) WriteReport(w io.Writer) {
 
 	fmt.Fprintln(w)
 	s.WriteStrategyFrontier(w)
+
+	fmt.Fprintln(w)
+	s.WriteDLBReport(w)
 }
 
 // WriteStrategyFrontier renders the E14 strategy-frontier table: every

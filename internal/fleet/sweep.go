@@ -47,6 +47,7 @@ func cellHash(cell serve.SweepCell) (uint64, error) {
 		Geometry:            cell.Geometry,
 		Alpha:               cell.Alpha,
 		LaggardThresholdSec: cell.LaggardThresholdSec,
+		DLB:                 cell.DLB,
 	}
 	resolved, err := sp.Resolve()
 	if err != nil {
@@ -63,6 +64,7 @@ func errorRow(cell serve.SweepCell, err error) serve.SweepRow {
 		Geometry:            cell.Geometry,
 		Alpha:               cell.Alpha,
 		LaggardThresholdSec: cell.LaggardThresholdSec,
+		DLB:                 cell.DLB,
 		Err:                 err.Error(),
 	}
 }
@@ -113,6 +115,10 @@ func (f *Fleet) DispatchCell(ctx context.Context, cell serve.SweepCell) (serve.S
 				TrialLo:    rg.lo,
 				TrialHi:    rg.hi,
 			}
+			if !cell.DLB.IsStatic() {
+				policy := cell.DLB
+				req.DLB = &policy
+			}
 			outcomes[i].from, outcomes[i].err = f.dispatch(ctx, hash, i, "/v1/shard", req, &outcomes[i].resp)
 		}(i, rg)
 	}
@@ -126,6 +132,7 @@ func (f *Fleet) DispatchCell(ctx context.Context, cell serve.SweepCell) (serve.S
 		Geometry:            cell.Geometry,
 		Alpha:               cell.Alpha,
 		LaggardThresholdSec: cell.LaggardThresholdSec,
+		DLB:                 cell.DLB,
 		Shards:              len(ranges),
 	}
 	for i := range outcomes {
@@ -223,6 +230,9 @@ func (f *Fleet) strategyCell(ctx context.Context, req serve.StrategiesRequest, c
 		return serve.StrategyRow{Index: cell.Index, App: cell.App, Geometry: cell.Geometry, Err: err.Error()}
 	}
 	sp := engine.Spec{App: cell.App, Geometry: cell.Geometry, BytesPerPartition: req.BytesPerPartition}
+	if req.DLB != nil {
+		sp.DLB = *req.DLB
+	}
 	resolved, err := sp.Resolve()
 	if err != nil {
 		return fail(err)

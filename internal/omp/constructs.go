@@ -103,7 +103,7 @@ func (tc *ThreadContext) ReduceSum(x float64) float64 {
 	cs.redMu.Lock()
 	total := acc.val
 	acc.readers++
-	if acc.readers == tc.pool.n {
+	if acc.readers == tc.region.team {
 		delete(cs.reductions, seq)
 	}
 	cs.redMu.Unlock()

@@ -91,7 +91,7 @@ func NewPool(n int) *Pool {
 func (p *Pool) worker(id int) {
 	defer p.wg.Done()
 	for t := range p.tasks[id] {
-		tc := &ThreadContext{id: id, pool: p, region: t.reg}
+		tc := &ThreadContext{id: id, region: t.reg}
 		t.body(tc)
 		t.done.Done()
 	}
@@ -103,13 +103,33 @@ func (p *Pool) NumThreads() int { return p.n }
 // Parallel runs body once on every thread of the team and returns when all
 // threads have finished — a fork/join parallel region.
 func (p *Pool) Parallel(body func(tc *ThreadContext)) {
+	p.ParallelTeam(p.n, body)
+}
+
+// ParallelTeam runs a fork/join parallel region on a dynamically sized
+// team of n threads (threads 0..n-1 of the pool), like a parallel region
+// with a num_threads clause under a DLB runtime that has lent the
+// remaining cores away: NumThreads, barriers, work-sharing loops and
+// reductions all see the region's team size, not the pool's, so the same
+// region body runs correctly at any ownership level. n is clamped to the
+// pool size; n < 1 panics.
+func (p *Pool) ParallelTeam(n int, body func(tc *ThreadContext)) {
 	if p.closed.Load() {
 		panic("omp: Parallel on closed pool")
 	}
-	reg := &region{}
+	if n < 1 {
+		panic("omp: parallel team size must be >= 1")
+	}
+	if n > p.n {
+		n = p.n
+	}
+	reg := &region{team: n, barrier: p.barrier}
+	if n != p.n {
+		reg.barrier = NewBarrier(n)
+	}
 	var done sync.WaitGroup
-	done.Add(p.n)
-	for i := 0; i < p.n; i++ {
+	done.Add(n)
+	for i := 0; i < n; i++ {
 		p.tasks[i] <- task{body: body, reg: reg, done: &done}
 	}
 	done.Wait()
@@ -139,6 +159,11 @@ func (p *Pool) Close() {
 // reach it (all threads of a region must execute the same sequence of
 // work-sharing constructs, as in OpenMP).
 type region struct {
+	// team is the region's thread count — the pool size for Parallel,
+	// possibly fewer for ParallelTeam — and barrier is sized to match.
+	team    int
+	barrier *Barrier
+
 	mu    sync.Mutex
 	loops []*loopState
 	cs    *constructState
@@ -159,7 +184,6 @@ func (r *region) loop(seq, n, nthreads int, sched Schedule, chunk int) *loopStat
 // ThreadContext is the per-thread view of a parallel region.
 type ThreadContext struct {
 	id        int
-	pool      *Pool
 	region    *region
 	loopSeq   int
 	singleSeq int
@@ -169,11 +193,12 @@ type ThreadContext struct {
 // ThreadNum returns this thread's id within the team (omp_get_thread_num).
 func (tc *ThreadContext) ThreadNum() int { return tc.id }
 
-// NumThreads returns the team size.
-func (tc *ThreadContext) NumThreads() int { return tc.pool.n }
+// NumThreads returns the team size of the current region, which may be
+// smaller than the pool when the region was forked with ParallelTeam.
+func (tc *ThreadContext) NumThreads() int { return tc.region.team }
 
-// Barrier blocks until every thread of the team has reached it.
-func (tc *ThreadContext) Barrier() { tc.pool.barrier.Wait() }
+// Barrier blocks until every thread of the region's team has reached it.
+func (tc *ThreadContext) Barrier() { tc.region.barrier.Wait() }
 
 // For executes a work-shared loop over [0, n) with the given schedule.
 // chunk <= 0 selects the schedule's default (block partition for static,
@@ -182,6 +207,6 @@ func (tc *ThreadContext) Barrier() { tc.pool.barrier.Wait() }
 func (tc *ThreadContext) For(n int, sched Schedule, chunk int, body func(i int)) {
 	seq := tc.loopSeq
 	tc.loopSeq++
-	ls := tc.region.loop(seq, n, tc.pool.n, sched, chunk)
+	ls := tc.region.loop(seq, n, tc.region.team, sched, chunk)
 	ls.run(tc.id, body)
 }

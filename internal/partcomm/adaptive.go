@@ -210,3 +210,38 @@ func Grid(timeoutsSec, ewmaAlphas []float64, lag analysis.LaggardStats) []Strate
 	strategies = append(strategies, Hybrid{}, TuneLaggardAware(lag))
 	return strategies
 }
+
+// Cloner marks strategies that carry evaluation state and therefore
+// must not be shared across concurrent evaluations. CloneStrategy
+// returns a fresh instance with the same parameters and no accumulated
+// state.
+type Cloner interface {
+	Strategy
+	CloneStrategy() Strategy
+}
+
+// CloneStrategy implements Cloner: same parameters, fresh prediction
+// state.
+func (e *EWMABinned) CloneStrategy() Strategy {
+	return &EWMABinned{Alpha: e.Alpha, InitTimeoutSec: e.InitTimeoutSec, MinTimeoutSec: e.MinTimeoutSec}
+}
+
+// CloneSet returns a strategy set safe to hand to a new evaluation
+// running concurrently with others: stateful strategies (Cloner) are
+// replaced by fresh clones, stateless values pass through unchanged,
+// and nil stays nil. core.Options uses this so one shared Options value
+// can configure any number of concurrent studies.
+func CloneSet(set []Strategy) []Strategy {
+	if set == nil {
+		return nil
+	}
+	out := make([]Strategy, len(set))
+	for i, s := range set {
+		if c, ok := s.(Cloner); ok {
+			out[i] = c.CloneStrategy()
+		} else {
+			out[i] = s
+		}
+	}
+	return out
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"earlybird/internal/cluster"
+	"earlybird/internal/dlb"
 	"earlybird/internal/engine"
 )
 
@@ -60,6 +61,12 @@ type Options struct {
 	// materialising study endpoints accept; larger requests are rejected
 	// with a pointer to /v1/sweep. 0 means DefaultMaxStudySamples.
 	MaxStudySamples int
+	// DefaultDLB is the rebalancing policy applied to study, sweep and
+	// strategies requests that leave their policy unset (the earlybirdd
+	// -dlb flag). Requests that set one — including an explicit "static"
+	// — keep it. Shard requests never default: a coordinator has already
+	// resolved its cell's policy and the shard must execute it literally.
+	DefaultDLB dlb.Spec
 	// Engine, when non-nil, is used instead of a fresh engine — for
 	// sharing a dataset cache with campaigns run outside the server.
 	// Workers and MaxDatasets are ignored in that case.
@@ -306,6 +313,9 @@ func (s *Server) runStudy(wire StudySpec) (engine.Result, Source, error) {
 	if err != nil {
 		return engine.Result{}, "", err
 	}
+	if wire.Policy == nil || wire.Policy.DLB == nil {
+		sp.DLB = s.opts.DefaultDLB
+	}
 	resolved, err := sp.Resolve()
 	if err != nil {
 		return engine.Result{}, "", err
@@ -330,6 +340,7 @@ func studyResponse(r engine.Result, src Source) StudyResponse {
 		App:             r.Spec.App,
 		Geometry:        r.Spec.Geometry,
 		Alpha:           r.Spec.Alpha,
+		DLB:             r.Spec.DLB,
 		Metrics:         r.Metrics,
 		Table1:          r.Table1,
 		Assessment:      r.Assessment,

@@ -22,6 +22,7 @@ import (
 
 	"earlybird/internal/analysis"
 	"earlybird/internal/cluster"
+	"earlybird/internal/dlb"
 	"earlybird/internal/rng"
 	"earlybird/internal/stats/normality"
 	"earlybird/internal/workload"
@@ -38,8 +39,14 @@ type ShardRequest struct {
 	GeometryName string          `json:"geometry_name,omitempty"`
 	Alpha        float64         `json:"alpha,omitempty"`
 	LaggardSec   float64         `json:"laggard_threshold_sec,omitempty"`
-	TrialLo      int             `json:"trial_lo"`
-	TrialHi      int             `json:"trial_hi"`
+	// DLB is the cell's rebalancing policy; omitted means static. Shards
+	// never apply a server default: the coordinator resolved the cell's
+	// policy and the worker must execute exactly that. Rebalancing is
+	// strictly per-trial, so the exactness contract survives any trial
+	// partition under any policy.
+	DLB     *dlb.Spec `json:"dlb,omitempty"`
+	TrialLo int       `json:"trial_lo"`
+	TrialHi int       `json:"trial_hi"`
 }
 
 // ShardResponse is one shard's accumulator state. MetricsState and
@@ -51,8 +58,11 @@ type ShardResponse struct {
 	Geometry            cluster.Config `json:"geometry"`
 	Alpha               float64        `json:"alpha"`
 	LaggardThresholdSec float64        `json:"laggard_threshold_sec"`
-	TrialLo             int            `json:"trial_lo"`
-	TrialHi             int            `json:"trial_hi"`
+	// DLB echoes the resolved rebalancing policy the shard ran under
+	// (zero value: static).
+	DLB     dlb.Spec `json:"dlb"`
+	TrialLo int      `json:"trial_lo"`
+	TrialHi int      `json:"trial_hi"`
 	// Blocks is the number of process-iteration blocks observed:
 	// (TrialHi-TrialLo) x ranks x iterations.
 	Blocks       int64  `json:"blocks"`
@@ -110,6 +120,13 @@ func (req ShardRequest) resolve() (ShardRequest, error) {
 	if req.LaggardSec == 0 {
 		req.LaggardSec = analysis.DefaultLaggardThresholdSec
 	}
+	if req.DLB != nil {
+		resolved, err := req.DLB.Resolve()
+		if err != nil {
+			return req, err
+		}
+		req.DLB = &resolved
+	}
 	if req.TrialLo < 0 || req.TrialHi <= req.TrialLo || req.TrialHi > geom.Trials {
 		return req, fmt.Errorf("trial range [%d, %d) outside the geometry's %d trials",
 			req.TrialLo, req.TrialHi, geom.Trials)
@@ -128,11 +145,16 @@ func (req ShardRequest) resolve() (ShardRequest, error) {
 // trial's tensor, not the shard's.
 func (s *Server) runShard(req ShardRequest) (ShardResponse, error) {
 	geom := *req.Geometry
+	var policy dlb.Spec
+	if req.DLB != nil {
+		policy = *req.DLB
+	}
 	resp := ShardResponse{
 		App:                 req.App,
 		Geometry:            geom,
 		Alpha:               req.Alpha,
 		LaggardThresholdSec: req.LaggardSec,
+		DLB:                 policy,
 		TrialLo:             req.TrialLo,
 		TrialHi:             req.TrialHi,
 	}
@@ -150,7 +172,7 @@ func (s *Server) runShard(req ShardRequest) (ShardResponse, error) {
 	macc := analysis.NewMetricsAccumulator(req.App, req.LaggardSec)
 	tacc := analysis.NewTable1Accumulator(req.App, req.Alpha)
 	if shardGeom.Samples() <= s.maxSweepSamples {
-		col, hit, err := s.eng.Columnar(model, shardGeom)
+		col, hit, err := s.eng.ColumnarDLB(model, shardGeom, policy)
 		if err != nil {
 			return resp, err
 		}
@@ -169,7 +191,7 @@ func (s *Server) runShard(req ShardRequest) (ShardResponse, error) {
 			if t > 0 {
 				m = trialShard{Model: base, lo: t}
 			}
-			col, err := cluster.RunColumnar(m, oneTrial, 0)
+			col, err := cluster.RunColumnarDLB(m, oneTrial, policy, 0)
 			if err != nil {
 				return resp, err
 			}

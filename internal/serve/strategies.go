@@ -7,6 +7,7 @@ import (
 	"earlybird/internal/analysis"
 	"earlybird/internal/cluster"
 	"earlybird/internal/core"
+	"earlybird/internal/dlb"
 	"earlybird/internal/engine"
 	"earlybird/internal/fnv"
 	"earlybird/internal/network"
@@ -44,6 +45,10 @@ type StrategiesRequest struct {
 	// LaggardThresholdSec tunes the laggard statistics feeding the
 	// laggard-aware strategy; omitted means the paper's 1 ms rule.
 	LaggardThresholdSec float64 `json:"laggard_threshold_sec,omitempty"`
+	// DLB is the runtime rebalancing policy every cell's dataset is
+	// generated under; omitted means the server's default (static unless
+	// the server overrides it).
+	DLB *dlb.Spec `json:"dlb,omitempty"`
 	// Stream switches the response to NDJSON: one StrategyRow per line,
 	// written as each cell completes.
 	Stream bool `json:"stream,omitempty"`
@@ -60,6 +65,9 @@ type StrategyRow struct {
 	App               string         `json:"app"`
 	Geometry          cluster.Config `json:"geometry"`
 	BytesPerPartition int            `json:"bytes_per_partition"`
+	// DLB echoes the resolved rebalancing policy the cell's dataset was
+	// generated under (zero value: static).
+	DLB dlb.Spec `json:"dlb"`
 	partcomm.Sweep
 	// Source reports which layer answered: result-cache, coalesced or
 	// executed (set on JSON and NDJSON rows alike).
@@ -94,6 +102,7 @@ type stratConfig struct {
 	timeoutsSec       []float64
 	ewmaAlphas        []float64
 	laggardThreshold  float64
+	dlb               dlb.Spec
 	gridHash          uint64
 }
 
@@ -149,6 +158,13 @@ func (req StrategiesRequest) resolve() (stratConfig, error) {
 	}
 	if cfg.laggardThreshold < 0 {
 		return cfg, fmt.Errorf("laggard_threshold_sec must be positive")
+	}
+	if req.DLB != nil {
+		resolved, err := req.DLB.Resolve()
+		if err != nil {
+			return cfg, err
+		}
+		cfg.dlb = resolved
 	}
 	cfg.gridHash = cfg.hash()
 	return cfg, nil
@@ -212,6 +228,7 @@ func (s *Server) cellKey(c StrategyCell, cfg stratConfig) (strategyCellKey, erro
 		Geometry:          c.Geometry,
 		BytesPerPartition: cfg.bytesPerPartition,
 		Fabric:            cfg.fabric,
+		DLB:               cfg.dlb,
 	}
 	resolved, err := sp.Resolve()
 	if err != nil {
@@ -230,6 +247,7 @@ func (s *Server) strategyCell(c StrategyCell, cfg stratConfig) StrategyRow {
 		App:               c.App,
 		Geometry:          c.Geometry,
 		BytesPerPartition: cfg.bytesPerPartition,
+		DLB:               cfg.dlb,
 	}
 	if err := c.Geometry.Validate(); err != nil {
 		row.Err = err.Error()
@@ -244,7 +262,7 @@ func (s *Server) strategyCell(c StrategyCell, cfg stratConfig) StrategyRow {
 		row.Err = err.Error()
 		return row
 	}
-	col, hit, err := s.eng.Columnar(model, c.Geometry)
+	col, hit, err := s.eng.ColumnarDLB(model, c.Geometry, cfg.dlb)
 	if err != nil {
 		row.Err = err.Error()
 		return row
@@ -263,7 +281,7 @@ func (s *Server) runStrategyCell(c StrategyCell, cfg stratConfig) StrategyRow {
 	key, err := s.cellKey(c, cfg)
 	if err != nil {
 		return StrategyRow{Index: c.Index, App: c.App, Geometry: c.Geometry,
-			BytesPerPartition: cfg.bytesPerPartition, Err: err.Error()}
+			BytesPerPartition: cfg.bytesPerPartition, DLB: cfg.dlb, Err: err.Error()}
 	}
 	row, src := s.strat.do(key, func() (StrategyRow, bool) {
 		defer s.acquire()()
@@ -286,6 +304,10 @@ func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	if req.DLB == nil {
+		d := s.opts.DefaultDLB
+		req.DLB = &d
 	}
 	cfg, err := req.resolve()
 	if err != nil {

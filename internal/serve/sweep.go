@@ -7,6 +7,7 @@ import (
 	"earlybird/internal/analysis"
 	"earlybird/internal/cluster"
 	"earlybird/internal/core"
+	"earlybird/internal/dlb"
 	"earlybird/internal/stats/normality"
 	"earlybird/internal/workload"
 )
@@ -27,6 +28,9 @@ type SweepRequest struct {
 	Alphas []float64 `json:"alphas,omitempty"`
 	// LaggardThresholdsSec is the laggard rule axis; empty means [1 ms].
 	LaggardThresholdsSec []float64 `json:"laggard_thresholds_sec,omitempty"`
+	// DLBs is the runtime rebalancing axis; empty means one point at the
+	// server's default policy (static unless the server overrides it).
+	DLBs []dlb.Spec `json:"dlbs,omitempty"`
 	// Workers bounds how many cells run concurrently; omitted or <= 0
 	// uses the engine's bound.
 	Workers int `json:"workers,omitempty"`
@@ -41,6 +45,7 @@ type SweepRow struct {
 	Geometry            cluster.Config      `json:"geometry"`
 	Alpha               float64             `json:"alpha"`
 	LaggardThresholdSec float64             `json:"laggard_threshold_sec"`
+	DLB                 dlb.Spec            `json:"dlb"`
 	Metrics             analysis.AppMetrics `json:"metrics"`
 	Table1              analysis.Table1     `json:"table1"`
 	// Recommendation is the Section 5 verdict from the streaming
@@ -62,19 +67,22 @@ type SweepRow struct {
 
 // SweepCell is one expanded cell of a sweep grid: the unit the sweep
 // handler computes locally and the fleet scheduler dispatches to
-// workers. Alpha and LaggardThresholdSec are fully resolved (no zero
-// defaults left).
+// workers. Alpha, LaggardThresholdSec and DLB are fully resolved (no
+// zero defaults left; the zero DLB is canonical static).
 type SweepCell struct {
 	Index               int            `json:"index"`
 	App                 string         `json:"app"`
 	Geometry            cluster.Config `json:"geometry"`
 	Alpha               float64        `json:"alpha"`
 	LaggardThresholdSec float64        `json:"laggard_threshold_sec"`
+	DLB                 dlb.Spec       `json:"dlb"`
 }
 
 // Cells expands the request into its grid, in deterministic app-major
-// order (then geometry, alpha, threshold) — the Index of each cell is
-// its position in that order.
+// order (then geometry, alpha, threshold, DLB policy) — the Index of
+// each cell is its position in that order. DLB entries resolve to their
+// canonical form, so spelled-out defaults occupy the same cell as their
+// shorthand.
 func (req SweepRequest) Cells() ([]SweepCell, error) {
 	if len(req.Apps) == 0 {
 		return nil, fmt.Errorf("sweep needs at least one app")
@@ -101,8 +109,19 @@ func (req SweepRequest) Cells() ([]SweepCell, error) {
 	if len(laggards) == 0 {
 		laggards = []float64{analysis.DefaultLaggardThresholdSec}
 	}
+	dlbs := make([]dlb.Spec, 0, len(req.DLBs))
+	for _, d := range req.DLBs {
+		resolved, err := d.Resolve()
+		if err != nil {
+			return nil, err
+		}
+		dlbs = append(dlbs, resolved)
+	}
+	if len(dlbs) == 0 {
+		dlbs = []dlb.Spec{{}}
+	}
 
-	n := len(req.Apps) * len(geoms) * len(alphas) * len(laggards)
+	n := len(req.Apps) * len(geoms) * len(alphas) * len(laggards) * len(dlbs)
 	if n > maxSweepCells {
 		return nil, fmt.Errorf("sweep grid has %d cells, limit %d", n, maxSweepCells)
 	}
@@ -111,9 +130,11 @@ func (req SweepRequest) Cells() ([]SweepCell, error) {
 		for _, g := range geoms {
 			for _, a := range alphas {
 				for _, l := range laggards {
-					cells = append(cells, SweepCell{
-						Index: len(cells), App: app, Geometry: g, Alpha: a, LaggardThresholdSec: l,
-					})
+					for _, d := range dlbs {
+						cells = append(cells, SweepCell{
+							Index: len(cells), App: app, Geometry: g, Alpha: a, LaggardThresholdSec: l, DLB: d,
+						})
+					}
 				}
 			}
 		}
@@ -132,6 +153,7 @@ func (s *Server) sweepCell(c SweepCell) SweepRow {
 		Geometry:            c.Geometry,
 		Alpha:               c.Alpha,
 		LaggardThresholdSec: c.LaggardThresholdSec,
+		DLB:                 c.DLB,
 	}
 	if err := c.Geometry.Validate(); err != nil {
 		row.Err = err.Error()
@@ -143,7 +165,7 @@ func (s *Server) sweepCell(c SweepCell) SweepRow {
 			row.Err = err.Error()
 			return row
 		}
-		col, hit, err := s.eng.Columnar(model, c.Geometry)
+		col, hit, err := s.eng.ColumnarDLB(model, c.Geometry, c.DLB)
 		if err != nil {
 			row.Err = err.Error()
 			return row
@@ -153,10 +175,13 @@ func (s *Server) sweepCell(c SweepCell) SweepRow {
 		row.Table1 = analysis.Table1Streaming(c.App, col.Cursor(), c.Alpha)
 	} else {
 		res, err := core.StreamStudy(core.Options{
-			App:                 c.App,
-			Geometry:            c.Geometry,
-			Alpha:               c.Alpha,
-			LaggardThresholdSec: c.LaggardThresholdSec,
+			App:      c.App,
+			Geometry: c.Geometry,
+			Policy: core.PolicySpec{
+				DLB:                 c.DLB,
+				Alpha:               c.Alpha,
+				LaggardThresholdSec: c.LaggardThresholdSec,
+			},
 		})
 		if err != nil {
 			row.Err = err.Error()
@@ -182,6 +207,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	if len(req.DLBs) == 0 {
+		req.DLBs = []dlb.Spec{s.opts.DefaultDLB}
 	}
 	cells, err := req.Cells()
 	if err != nil {

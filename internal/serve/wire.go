@@ -6,9 +6,30 @@ import (
 	"earlybird/internal/analysis"
 	"earlybird/internal/cluster"
 	"earlybird/internal/core"
+	"earlybird/internal/dlb"
 	"earlybird/internal/engine"
 	"earlybird/internal/network"
 )
+
+// PolicySpec is the unified policy envelope shared by the /v1 study
+// endpoints: the analysis and runtime knobs that used to travel as flat
+// request fields, plus the DLB rebalancing policy that never had a flat
+// form. Set fields win over their deprecated flat counterparts; omitted
+// fields fall back to the flat field, then the server default, then the
+// paper default.
+type PolicySpec struct {
+	// DLB selects the runtime rebalancing policy the dataset is
+	// generated under; omitted means the server's default (static unless
+	// the server was started with one).
+	DLB *dlb.Spec `json:"dlb,omitempty"`
+	// Alpha is the normality significance level; omitted means 5%.
+	Alpha float64 `json:"alpha,omitempty"`
+	// LaggardThresholdSec is the laggard rule; omitted means 1 ms.
+	LaggardThresholdSec float64 `json:"laggard_threshold_sec,omitempty"`
+	// BinTimeoutSec is the binned delivery strategy's flush timeout;
+	// omitted means 1 ms.
+	BinTimeoutSec float64 `json:"bin_timeout_sec,omitempty"`
+}
 
 // StudySpec is the wire form of engine.Spec: everything JSON-expressible
 // about one study. Zero or omitted fields fill with the paper's defaults,
@@ -22,9 +43,18 @@ type StudySpec struct {
 	Geometry *cluster.Config `json:"geometry,omitempty"`
 	// GeometryName selects a named geometry: "paper", "quick" or "huge".
 	GeometryName string `json:"geometry_name,omitempty"`
+	// Policy is the unified policy envelope. Where both the envelope and
+	// a deprecated flat field are set, the envelope wins.
+	Policy *PolicySpec `json:"policy,omitempty"`
 	// Alpha is the normality significance level; omitted means 5%.
+	//
+	// Deprecated: set Policy.Alpha. Kept so pre-envelope payloads decode
+	// identically.
 	Alpha float64 `json:"alpha,omitempty"`
 	// LaggardThresholdSec is the laggard rule; omitted means 1 ms.
+	//
+	// Deprecated: set Policy.LaggardThresholdSec. Kept so pre-envelope
+	// payloads decode identically.
 	LaggardThresholdSec float64 `json:"laggard_threshold_sec,omitempty"`
 	// BytesPerPartition sizes the feasibility partitions; omitted means
 	// 1 MiB.
@@ -34,6 +64,9 @@ type StudySpec struct {
 	Fabric *network.Fabric `json:"fabric,omitempty"`
 	// BinTimeoutSec is the binned delivery strategy's flush timeout;
 	// omitted means 1 ms.
+	//
+	// Deprecated: set Policy.BinTimeoutSec. Kept so pre-envelope
+	// payloads decode identically.
 	BinTimeoutSec float64 `json:"bin_timeout_sec,omitempty"`
 }
 
@@ -79,6 +112,20 @@ func (w StudySpec) toSpec() (engine.Spec, error) {
 		}
 		sp.Fabric = *w.Fabric
 	}
+	if p := w.Policy; p != nil {
+		if p.DLB != nil {
+			sp.DLB = *p.DLB
+		}
+		if p.Alpha != 0 {
+			sp.Alpha = p.Alpha
+		}
+		if p.LaggardThresholdSec != 0 {
+			sp.LaggardThresholdSec = p.LaggardThresholdSec
+		}
+		if p.BinTimeoutSec != 0 {
+			sp.BinTimeoutSec = p.BinTimeoutSec
+		}
+	}
 	return sp, nil
 }
 
@@ -103,6 +150,9 @@ type StudyResponse struct {
 	App      string         `json:"app"`
 	Geometry cluster.Config `json:"geometry"`
 	Alpha    float64        `json:"alpha"`
+	// DLB echoes the resolved rebalancing policy the dataset was
+	// generated under (zero value: static).
+	DLB dlb.Spec `json:"dlb"`
 
 	Metrics    analysis.AppMetrics `json:"metrics"`
 	Table1     analysis.Table1     `json:"table1"`
