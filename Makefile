@@ -8,7 +8,7 @@ GO ?= go
 # trajectory climbs, never lower it).
 COVER_FLOOR ?= 78.0
 
-.PHONY: all build test race race-fleet bench bench-json lint fmt docs-check cover fuzz-smoke
+.PHONY: all build test race race-fleet bench bench-json bench-gate bench-baseline profile lint fmt docs-check cover fuzz-smoke
 
 all: build lint docs-check test
 
@@ -36,13 +36,16 @@ bench:
 # Streaming-vs-materialised study benchmark at the paper's geometry,
 # recorded as test2json events so the perf trajectory of the data plane
 # accumulates across PRs (acceptance: streaming B/op >= 5x lower).
-# BenchmarkStrategySweep does the same for the strategy lab's evaluator
-# (acceptance: streaming B/op strictly below the materialised path), and
-# BenchmarkFillDLB for the rebalancing fill loop (static vs LeWI
-# throughput at paper geometry — the cost of the dynamic policy axis).
+# BENCH_streaming.json is append-only: each run adds an entry, so the
+# checked-in file is the benchmark trajectory across PRs (the README's
+# trajectory table is read from it). BenchmarkStrategySweep does the
+# same for the strategy lab's evaluator (acceptance: streaming B/op
+# strictly below the materialised path), and BenchmarkFillDLB for the
+# rebalancing fill loop (static vs LeWI throughput at paper geometry —
+# the cost of the dynamic policy axis).
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkStudy(Streaming|Materialized)$$' \
-		-benchmem -benchtime=3x -json . > BENCH_streaming.json
+		-benchmem -benchtime=3x -json . >> BENCH_streaming.json
 	@grep -o 'Benchmark[A-Za-z]*[ \t].*allocs/op' BENCH_streaming.json || true
 	$(GO) test -run '^$$' -bench '^BenchmarkStrategySweep$$' \
 		-benchmem -benchtime=3x -json ./internal/partcomm > BENCH_strategies.json
@@ -50,6 +53,31 @@ bench-json:
 	$(GO) test -run '^$$' -bench '^BenchmarkFillDLB$$' \
 		-benchmem -benchtime=3x -json ./internal/cluster > BENCH_dlb.json
 	@grep -oE '[0-9]+ ns/op[^"]*allocs/op' BENCH_dlb.json || true
+
+# Regression gate: re-run the gated benchmarks (BenchmarkStudyStreaming,
+# BenchmarkFillDLB) and fail on a >10% ns/op regression against the
+# checked-in BENCH_baseline.txt. Threshold and run count are
+# overridable: BENCH_GATE_PCT=15 BENCH_GATE_COUNT=5 make bench-gate.
+# benchstat, when installed, prints the delta table; the gate decision
+# itself needs only awk. Refresh the baseline with `make bench-baseline`
+# on the reference machine after an intentional perf change.
+bench-gate:
+	sh scripts/bench_gate.sh
+
+bench-baseline:
+	sh scripts/bench_baseline.sh
+
+# CPU + allocation profile of the streaming-study hot path
+# (BenchmarkStudyStreaming), summarised to the terminal; the raw
+# profiles stay in profiles/ for `go tool pprof` exploration.
+profile:
+	@mkdir -p profiles
+	$(GO) test -run '^$$' -bench 'BenchmarkStudyStreaming$$' -benchtime 5x \
+		-cpuprofile profiles/cpu.prof -memprofile profiles/mem.prof \
+		-o profiles/earlybird.test .
+	$(GO) tool pprof -top -nodecount=15 profiles/earlybird.test profiles/cpu.prof
+	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_space \
+		profiles/earlybird.test profiles/mem.prof
 
 # Coverage profile + one-line summary + per-package table, uploaded as
 # CI artifacts so the trajectory accumulates across PRs. Fails when the

@@ -309,3 +309,21 @@ func BenchmarkStudyStreaming(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkStudyStreamingHuge is the streaming pipeline at 100x the
+// paper's sample count (HugeGeometry, 76.8M samples — a 614 MB tensor
+// if materialised). One iteration is a full study, so run it with a
+// small -benchtime; it exists to measure how the hot-path optimisations
+// compound at scale, where the per-block costs dominate completely.
+func BenchmarkStudyStreamingHuge(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := earlybird.StreamMetrics(earlybird.Options{App: "minife", Geometry: earlybird.HugeGeometry()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.MeanMedianSec <= 0 {
+			b.Fatal("implausible metrics")
+		}
+	}
+}

@@ -1,8 +1,7 @@
 package analysis
 
 import (
-	"sort"
-
+	"earlybird/internal/sortx"
 	"earlybird/internal/stats"
 	"earlybird/internal/trace"
 )
@@ -79,7 +78,7 @@ func LaggardsStream(cur *trace.Cursor, threshold float64) LaggardStats {
 		}
 		st.Total++
 		scratch = append(scratch[:0], b.Times...)
-		sort.Float64s(scratch)
+		sortx.Sort(scratch)
 		mag := scratch[len(scratch)-1] - stats.PercentileSorted(scratch, 50)
 		if mag > threshold {
 			st.WithLaggard++

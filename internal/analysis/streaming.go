@@ -3,6 +3,7 @@ package analysis
 import (
 	"sort"
 
+	"earlybird/internal/sortx"
 	"earlybird/internal/stats"
 	"earlybird/internal/stats/normality"
 	"earlybird/internal/trace"
@@ -106,13 +107,22 @@ func (a *MetricsAccumulator) ObserveBlock(trial, rank, iter int, xs []float64) {
 	if n == 0 {
 		return
 	}
-	sum, max := 0.0, xs[0]
-	for _, x := range xs {
-		sum += x
-		if x > max {
-			max = x
-		}
+	// One copy + one sort serves everything below: the sum accumulates
+	// in the original block order (bit-identical to the historical
+	// scan), the max is the sorted tail, the median reads the sorted
+	// scratch, and the sorted scratch then feeds the iteration sketch
+	// through its no-buffer AddSorted fast path.
+	if cap(a.scratch) < n {
+		a.scratch = make([]float64, n)
 	}
+	a.scratch = a.scratch[:n]
+	sum := 0.0
+	for i, x := range xs {
+		a.scratch[i] = x
+		sum += x
+	}
+	sortx.Sort(a.scratch)
+	max := a.scratch[n-1]
 
 	ta := a.trials[trial]
 	if ta == nil {
@@ -121,8 +131,6 @@ func (a *MetricsAccumulator) ObserveBlock(trial, rank, iter int, xs []float64) {
 	}
 
 	// Process-iteration level: exact, the block is complete.
-	a.scratch = append(a.scratch[:0], xs...)
-	sort.Float64s(a.scratch)
 	med := stats.PercentileSorted(a.scratch, 50)
 	recl := float64(n)*max - sum
 	ta.nProc++
@@ -152,7 +160,7 @@ func (a *MetricsAccumulator) ObserveBlock(trial, rank, iter int, xs []float64) {
 		sk = stats.NewQuantileSketch(iterSketchCompression)
 		a.sketches[iter] = sk
 	}
-	sk.AddSlice(xs)
+	sk.AddSorted(a.scratch)
 }
 
 // Merge folds another accumulator (for the same application and
@@ -301,10 +309,11 @@ func ComputeMetricsStreaming(app string, cur *trace.Cursor, laggardThreshold flo
 // per complete block, so streaming results are exactly the materialised
 // ones. Mergeable like MetricsAccumulator; not safe for concurrent use.
 type Table1Accumulator struct {
-	app    string
-	alpha  float64
-	total  int
-	passed [3]int
+	app     string
+	alpha   float64
+	total   int
+	passed  [3]int
+	scratch []float64 // reused sorted copy for the battery
 }
 
 // NewTable1Accumulator returns an empty accumulator at significance
@@ -316,7 +325,10 @@ func NewTable1Accumulator(app string, alpha float64) *Table1Accumulator {
 // ObserveBlock implements cluster.BlockObserver: it runs the three-test
 // battery on one complete process iteration.
 func (a *Table1Accumulator) ObserveBlock(trial, rank, iter int, xs []float64) {
-	res := normality.Battery(xs, a.alpha)
+	if cap(a.scratch) < len(xs) {
+		a.scratch = make([]float64, len(xs))
+	}
+	res := normality.BatteryScratch(xs, a.scratch, a.alpha)
 	a.total++
 	for _, t := range normality.Tests {
 		if res[t].Passed() {

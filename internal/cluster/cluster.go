@@ -184,17 +184,31 @@ func RunStreamDLB(model workload.Model, cfg Config, policy dlb.Spec, workers int
 	return runStreamBalanced(model, cfg, resolved, workers, sink, newObserver)
 }
 
+// stripeRange divides tasks contiguous stripes among workers: worker w
+// owns [w*tasks/workers, (w+1)*tasks/workers), so every worker's share
+// differs by at most one stripe and the assignment is a pure function
+// of (tasks, workers) — no channel, no scheduler-dependent hand-off.
+func stripeRange(tasks, workers, w int) (lo, hi int) {
+	return w * tasks / workers, (w + 1) * tasks / workers
+}
+
 // runStreamStatic is the historical fill loop: one task per
 // (trial, rank), blocks produced in iteration order within the task.
+// Workers are stripe-pinned: worker w owns a contiguous range of the
+// trial-major stripe index s = trial*Ranks + rank, fixed up front. The
+// pinning removes the per-stripe channel rendezvous of the historical
+// work queue and makes the block→observer partition deterministic; the
+// samples themselves are unchanged because every (trial, rank,
+// iteration) derives its own random stream regardless of which worker
+// fills it.
 func runStreamStatic(model workload.Model, cfg Config, workers int, sink *trace.Sink, newObserver func() BlockObserver) ([]BlockObserver, error) {
 	root := rng.New(cfg.Seed)
 
-	type job struct{ trial, rank int }
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	if workers > cfg.Trials*cfg.Ranks {
-		workers = cfg.Trials * cfg.Ranks
+	tasks := cfg.Trials * cfg.Ranks
+	if workers > tasks {
+		workers = tasks
 	}
+	var wg sync.WaitGroup
 	var observers []BlockObserver
 	for w := 0; w < workers; w++ {
 		var obs BlockObserver
@@ -202,6 +216,7 @@ func runStreamStatic(model workload.Model, cfg Config, workers int, sink *trace.
 			obs = newObserver()
 			observers = append(observers, obs)
 		}
+		lo, hi := stripeRange(tasks, workers, w)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -209,34 +224,29 @@ func runStreamStatic(model workload.Model, cfg Config, workers int, sink *trace.
 			if sink == nil {
 				scratch = make([]float64, cfg.Threads)
 			}
-			for j := range jobs {
+			for s := lo; s < hi; s++ {
+				trial, rank := s/cfg.Ranks, s%cfg.Ranks
 				if sink != nil {
-					sw := sink.Stripe(j.trial, j.rank)
+					sw := sink.Stripe(trial, rank)
 					for i := 0; i < cfg.Iterations; i++ {
 						out := sw.AppendWith(func(out []float64) {
-							model.FillProcessIteration(root, j.trial, j.rank, i, out)
+							model.FillProcessIteration(root, trial, rank, i, out)
 						})
 						if obs != nil {
-							obs.ObserveBlock(j.trial, j.rank, i, out)
+							obs.ObserveBlock(trial, rank, i, out)
 						}
 					}
 				} else {
 					for i := 0; i < cfg.Iterations; i++ {
-						model.FillProcessIteration(root, j.trial, j.rank, i, scratch)
+						model.FillProcessIteration(root, trial, rank, i, scratch)
 						if obs != nil {
-							obs.ObserveBlock(j.trial, j.rank, i, scratch)
+							obs.ObserveBlock(trial, rank, i, scratch)
 						}
 					}
 				}
 			}
 		}()
 	}
-	for t := 0; t < cfg.Trials; t++ {
-		for r := 0; r < cfg.Ranks; r++ {
-			jobs <- job{t, r}
-		}
-	}
-	close(jobs)
 	wg.Wait()
 	return observers, nil
 }
@@ -244,18 +254,18 @@ func runStreamStatic(model workload.Model, cfg Config, workers int, sink *trace.
 // runStreamBalanced fills trial-major under a resolved non-static
 // policy: each task owns one whole trial (its balancer, its ranks'
 // stripes) and walks iterations in order so the balancer always decides
-// iteration i+1 from iteration i's finishes. Distinct trials still fill
-// concurrently; within a task the per-stripe append contract of
-// trace.Sink is honoured because a single goroutine owns all of the
-// trial's stripe writers.
+// iteration i+1 from iteration i's finishes. Workers are pinned to
+// contiguous trial ranges, like runStreamStatic's stripes; distinct
+// trials still fill concurrently, and within a task the per-stripe
+// append contract of trace.Sink is honoured because a single goroutine
+// owns all of the trial's stripe writers.
 func runStreamBalanced(model workload.Model, cfg Config, policy dlb.Spec, workers int, sink *trace.Sink, newObserver func() BlockObserver) ([]BlockObserver, error) {
 	root := rng.New(cfg.Seed)
 
-	jobs := make(chan int)
-	var wg sync.WaitGroup
 	if workers > cfg.Trials {
 		workers = cfg.Trials
 	}
+	var wg sync.WaitGroup
 	var observers []BlockObserver
 	for w := 0; w < workers; w++ {
 		var obs BlockObserver
@@ -263,6 +273,7 @@ func runStreamBalanced(model workload.Model, cfg Config, policy dlb.Spec, worker
 			obs = newObserver()
 			observers = append(observers, obs)
 		}
+		lo, hi := stripeRange(cfg.Trials, workers, w)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -272,7 +283,7 @@ func runStreamBalanced(model workload.Model, cfg Config, policy dlb.Spec, worker
 			}
 			finish := make([]float64, cfg.Ranks)
 			var writers []*trace.StripeWriter
-			for trial := range jobs {
+			for trial := lo; trial < hi; trial++ {
 				bal := policy.NewBalancer(cfg.Ranks, cfg.Threads)
 				if sink != nil {
 					writers = writers[:0]
@@ -305,10 +316,6 @@ func runStreamBalanced(model workload.Model, cfg Config, policy dlb.Spec, worker
 			}
 		}()
 	}
-	for t := 0; t < cfg.Trials; t++ {
-		jobs <- t
-	}
-	close(jobs)
 	wg.Wait()
 	return observers, nil
 }

@@ -9,9 +9,8 @@
 package partcomm
 
 import (
-	"sort"
-
 	"earlybird/internal/network"
+	"earlybird/internal/sortx"
 	"earlybird/internal/trace"
 )
 
@@ -70,7 +69,7 @@ func (a *StrategyAccumulator) ObserveBlock(trial, rank, iter int, xs []float64) 
 		return
 	}
 	a.scratch = append(a.scratch[:0], xs...)
-	sort.Float64s(a.scratch)
+	sortx.Sort(a.scratch)
 	arrivals := a.scratch
 
 	bulkFinish := a.bulk.FinishTime(arrivals, a.bytesPerPart, a.fabric)

@@ -1,29 +1,59 @@
 package rng
 
-import "math"
+import (
+	"math"
+
+	"earlybird/internal/stats"
+)
 
 // Normal draws from N(mu, sigma). sigma must be non-negative.
 func (s *Source) Normal(mu, sigma float64) float64 {
 	return mu + sigma*s.NormFloat64()
 }
 
-// TruncNormal draws from N(mu, sigma) truncated to [lo, hi] by rejection.
-// The interval must have positive probability mass; for the workload models
-// in this repository the interval always covers the mean, so rejection
-// terminates quickly.
+// truncNormalRejectionMass is the minimum acceptance probability for
+// which TruncNormal uses rejection sampling. Above it, rejection needs
+// at most 1/mass = 16 expected draws and terminates almost surely (no
+// iteration cap required); below it, a single-draw inverse transform
+// replaces what used to be a 1024-iteration spin ending in a clamp.
+const truncNormalRejectionMass = 1.0 / 16
+
+// TruncNormal draws from N(mu, sigma) truncated to [lo, hi].
+//
+// When the interval holds at least truncNormalRejectionMass of the
+// normal's probability mass — every workload parameterisation in this
+// repository does — it uses uncapped rejection sampling, consuming the
+// underlying stream exactly as the historical implementation did (the
+// sequence-pinning tests in dist_test.go hold it to that). Thin
+// intervals instead draw one uniform and invert the truncated CDF
+// directly, replacing the former bounded-rejection spin whose cap
+// produced a hard clamp to the interval boundary.
 func (s *Source) TruncNormal(mu, sigma, lo, hi float64) float64 {
 	if lo > hi {
 		lo, hi = hi, lo
 	}
-	for i := 0; i < 1024; i++ {
+	if !(sigma > 0) {
+		// Degenerate spread: the distribution is a point mass at mu.
+		// Consume one normal draw like the historical first rejection
+		// attempt, then clamp.
 		x := s.Normal(mu, sigma)
-		if x >= lo && x <= hi {
-			return x
+		return math.Min(math.Max(x, lo), hi)
+	}
+	plo := stats.NormalCDF((lo - mu) / sigma)
+	phi := stats.NormalCDF((hi - mu) / sigma)
+	if phi-plo >= truncNormalRejectionMass {
+		for {
+			x := s.Normal(mu, sigma)
+			if x >= lo && x <= hi {
+				return x
+			}
 		}
 	}
-	// Pathological parameterisation: clamp to the nearest bound so the
-	// simulation remains total rather than spinning forever.
-	x := s.Normal(mu, sigma)
+	// Thin interval: direct inverse transform through the truncated
+	// CDF. One uniform draw, exact distribution, no spin; the clamp
+	// only guards quantile round-off at the interval edges.
+	u := s.Float64()
+	x := mu + sigma*stats.NormalQuantile(plo+u*(phi-plo))
 	return math.Min(math.Max(x, lo), hi)
 }
 
@@ -40,10 +70,15 @@ func (s *Source) LogNormal(mu, sigma float64) float64 {
 
 // Pareto draws from a Pareto distribution with the given minimum xm and
 // shape alpha. Heavy-tailed; used for high-magnitude laggard models.
+//
+// Exactly one uniform is consumed per draw: the measure-zero u == 0
+// case (one draw in 2^53) is clamped to the smallest positive Float64
+// value instead of retrying, so the draw count per call is fixed and
+// the sequence is unchanged for every u != 0.
 func (s *Source) Pareto(xm, alpha float64) float64 {
 	u := s.Float64()
-	for u == 0 {
-		u = s.Float64()
+	if u == 0 {
+		u = 0x1p-53
 	}
 	return xm / math.Pow(u, 1/alpha)
 }

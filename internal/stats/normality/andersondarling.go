@@ -2,8 +2,8 @@ package normality
 
 import (
 	"math"
-	"sort"
 
+	"earlybird/internal/sortx"
 	"earlybird/internal/stats"
 )
 
@@ -30,7 +30,18 @@ func AndersonDarlingTest(xs []float64, alpha float64) (Result, error) {
 	}
 	x := make([]float64, n)
 	copy(x, xs)
-	sort.Float64s(x)
+	sortx.Sort(x)
+	return AndersonDarlingSorted(x, alpha)
+}
+
+// AndersonDarlingSorted is AndersonDarlingTest on an already-sorted
+// sample: x must be ascending and is not modified. The statistic is
+// bit-identical to AndersonDarlingTest on the unsorted sample.
+func AndersonDarlingSorted(x []float64, alpha float64) (Result, error) {
+	n := len(x)
+	if n < 8 {
+		return Result{}, ErrSampleTooSmall
+	}
 	if x[0] == x[n-1] {
 		return Result{}, ErrConstantSample
 	}

@@ -2,8 +2,8 @@ package normality
 
 import (
 	"math"
-	"sort"
 
+	"earlybird/internal/sortx"
 	"earlybird/internal/stats"
 )
 
@@ -23,7 +23,18 @@ func LillieforsTest(xs []float64, alpha float64) (Result, error) {
 	}
 	x := make([]float64, n)
 	copy(x, xs)
-	sort.Float64s(x)
+	sortx.Sort(x)
+	return LillieforsSorted(x, alpha)
+}
+
+// LillieforsSorted is LillieforsTest on an already-sorted sample: x
+// must be ascending and is not modified. The statistic is bit-identical
+// to LillieforsTest on the unsorted sample.
+func LillieforsSorted(x []float64, alpha float64) (Result, error) {
+	n := len(x)
+	if n < 5 {
+		return Result{}, ErrSampleTooSmall
+	}
 	if x[0] == x[n-1] {
 		return Result{}, ErrConstantSample
 	}

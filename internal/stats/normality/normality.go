@@ -11,6 +11,8 @@ package normality
 import (
 	"errors"
 	"fmt"
+
+	"earlybird/internal/sortx"
 )
 
 // DefaultAlpha is the significance level used throughout the paper.
@@ -105,12 +107,46 @@ func Run(t Test, xs []float64, alpha float64) (Result, error) {
 // results indexed by Test. A test that cannot run on the sample (for
 // example, too few observations) contributes a zero Result with
 // RejectNormal = true, matching the paper's treatment of degenerate sets.
+//
+// The sample is sorted once and the sorted copy shared by Shapiro-Wilk
+// and Anderson-Darling (historically each test sorted its own copy);
+// D'Agostino is moment-based and consumes the sample in its original
+// order, so every statistic is bit-identical to the per-test entry
+// points.
 func Battery(xs []float64, alpha float64) [3]Result {
+	return BatteryScratch(xs, nil, alpha)
+}
+
+// BatteryScratch is Battery with a caller-provided scratch buffer for
+// the sorted copy, for hot paths that run the battery once per block
+// (internal/analysis' Table1Accumulator): when cap(scratch) >= len(xs)
+// no allocation happens. scratch may be nil; its contents are
+// overwritten.
+func BatteryScratch(xs, scratch []float64, alpha float64) [3]Result {
+	n := len(xs)
+	if cap(scratch) < n {
+		scratch = make([]float64, n)
+	}
+	scratch = scratch[:n]
+	copy(scratch, xs)
+	sortx.Sort(scratch)
+
 	var out [3]Result
 	for _, t := range Tests {
-		r, err := Run(t, xs, alpha)
+		var (
+			r   Result
+			err error
+		)
+		switch t {
+		case ShapiroWilk:
+			r, err = ShapiroWilkSorted(scratch, alpha)
+		case AndersonDarling:
+			r, err = AndersonDarlingSorted(scratch, alpha)
+		default:
+			r, err = Run(t, xs, alpha)
+		}
 		if err != nil {
-			r = Result{Test: t, RejectNormal: true, N: len(xs)}
+			r = Result{Test: t, RejectNormal: true, N: n}
 		}
 		out[t] = r
 	}

@@ -2,8 +2,9 @@ package normality
 
 import (
 	"math"
-	"sort"
+	"sync"
 
+	"earlybird/internal/sortx"
 	"earlybird/internal/stats"
 )
 
@@ -21,7 +22,20 @@ func ShapiroWilkTest(xs []float64, alpha float64) (Result, error) {
 	}
 	x := make([]float64, n)
 	copy(x, xs)
-	sort.Float64s(x)
+	sortx.Sort(x)
+	return ShapiroWilkSorted(x, alpha)
+}
+
+// ShapiroWilkSorted is ShapiroWilkTest on an already-sorted sample:
+// x must be ascending and is not modified. Callers that sort once and
+// fan the sorted data across several tests (see Battery) avoid the
+// per-test copy + sort this way; the statistic is bit-identical to
+// ShapiroWilkTest on the unsorted sample.
+func ShapiroWilkSorted(x []float64, alpha float64) (Result, error) {
+	n := len(x)
+	if n < 3 {
+		return Result{}, ErrSampleTooSmall
+	}
 	if x[0] == x[n-1] {
 		return Result{}, ErrConstantSample
 	}
@@ -95,10 +109,26 @@ func poly(c []float64, x float64) float64 {
 	return sum
 }
 
+// swWeightCache memoizes swWeights by sample size: a streaming study
+// runs the battery on millions of equally-sized blocks, and the weight
+// vector — half-sample NormalQuantile evaluations plus Royston
+// corrections — is a pure function of n. The cached slice is computed
+// by the same code and never written after insertion, so results are
+// bit-identical and concurrent per-worker batteries can share it.
+var swWeightCache sync.Map // int -> []float64
+
+func swWeightsCached(n int) []float64 {
+	if a, ok := swWeightCache.Load(n); ok {
+		return a.([]float64)
+	}
+	a, _ := swWeightCache.LoadOrStore(n, swWeights(n))
+	return a.([]float64)
+}
+
 // swStatistic computes W for the sorted sample x.
 func swStatistic(x []float64) float64 {
 	n := len(x)
-	a := swWeights(n)
+	a := swWeightsCached(n)
 	num := 0.0
 	for i, ai := range a {
 		// a_i is negative for the lower half; pair with the reflected

@@ -10,7 +10,8 @@ package stats
 
 import (
 	"math"
-	"sort"
+
+	"earlybird/internal/sortx"
 )
 
 // Moments is a one-pass, mergeable accumulator of a sample's count, mean,
@@ -188,6 +189,9 @@ type QuantileSketch struct {
 	centroids   []centroid
 	scratch     []centroid // reused merge buffer; no allocation per flush
 	buf         []float64
+	pending     []float64 // concatenated sorted runs awaiting one combined fold
+	runEnds     []int     // end offset of each pending run
+	mscratch    []float64 // ping-pong buffer for pairwise run merging
 	n           int64
 	minSeen     float64
 	maxSeen     float64
@@ -251,9 +255,97 @@ func (q *QuantileSketch) AddSlice(xs []float64) {
 	}
 }
 
+// AddSorted folds an ascending-sorted run of values into the sketch,
+// bypassing the per-value buffer entirely. This is the hot-path
+// ingestion used by the streaming accumulators, which sort each
+// observation block once anyway (for median extraction) and hand the
+// sorted scratch straight down. xs must be sorted ascending; xs is not
+// retained. A sketch fed exclusively through AddSorted never allocates
+// the Add buffer.
+//
+// Small runs are not folded immediately: they buffer until roughly
+// 8·compression values are pending, then combine pairwise (branchless
+// sortx.MergeRuns passes) into one ascending run that merges with the
+// centroid list in a single compressing sweep. Folding a run of k
+// values costs a pass over all ~centroids+k entries, so batching
+// amortises the centroid sweep over several blocks — at the streaming
+// accumulators' geometry (48-thread blocks, compression 32, ~150
+// steady centroids) it cuts sweep iterations per value by ~2.5x.
+func (q *QuantileSketch) AddSorted(xs []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	q.flushBuf() // interleaved Add calls must land before this run
+	if xs[0] < q.minSeen {
+		q.minSeen = xs[0]
+	}
+	if xs[len(xs)-1] > q.maxSeen {
+		q.maxSeen = xs[len(xs)-1]
+	}
+	q.n += int64(len(xs))
+	limit := 8 * int(q.compression)
+	if len(xs) >= limit {
+		// A run this large amortises its own sweep; fold it directly
+		// (pending runs first, to keep ingestion order).
+		q.flushPending()
+		q.mergeRun(xs)
+		return
+	}
+	if len(q.pending)+len(xs) > limit {
+		q.flushPending()
+	}
+	if q.pending == nil {
+		q.pending = make([]float64, 0, limit)
+	}
+	q.pending = append(q.pending, xs...)
+	q.runEnds = append(q.runEnds, len(q.pending))
+}
+
+// flushPending combines the buffered sorted runs into one ascending run
+// and folds it into the centroid list.
+func (q *QuantileSketch) flushPending() {
+	switch len(q.runEnds) {
+	case 0:
+		return
+	case 1:
+		q.mergeRun(q.pending)
+	default:
+		n := len(q.pending)
+		if cap(q.mscratch) < n {
+			q.mscratch = make([]float64, n)
+		}
+		src, dst := q.pending, q.mscratch[:n]
+		ends := q.runEnds
+		for m := len(ends); m > 1; src, dst = dst, src {
+			w := 0
+			for r := 0; r < m; r += 2 {
+				start := 0
+				if r > 0 {
+					start = ends[r-1] // not yet overwritten: w-1 < r-1 for r >= 2
+				}
+				if r+1 == m {
+					copy(dst[start:ends[r]], src[start:ends[r]])
+					ends[w] = ends[r]
+				} else {
+					mid, end := ends[r], ends[r+1]
+					sortx.MergeRuns(dst[start:end], src[start:mid], src[mid:end])
+					ends[w] = end
+				}
+				w++
+			}
+			m = w
+		}
+		q.mergeRun(src)
+	}
+	q.pending = q.pending[:0]
+	q.runEnds = q.runEnds[:0]
+}
+
 // Merge folds another sketch into this one. o's buffered values are
 // compressed as a side effect, but its distribution is unchanged; the
-// merged sketch keeps both error bounds.
+// merged sketch keeps both error bounds. Both centroid lists are
+// already sorted, so the merge is a single linear pass with inline
+// compression — no comparison sort.
 func (q *QuantileSketch) Merge(o *QuantileSketch) {
 	if o == nil || o.n == 0 {
 		return
@@ -267,70 +359,135 @@ func (q *QuantileSketch) Merge(o *QuantileSketch) {
 		q.maxSeen = o.maxSeen
 	}
 	q.n += o.n
-	q.centroids = append(q.centroids, o.centroids...)
-	sort.Slice(q.centroids, func(i, j int) bool { return q.centroids[i].mean < q.centroids[j].mean })
-	q.centroids = q.compress(q.centroids)
+	cs, os := q.centroids, o.centroids
+	total := float64(q.n)
+	merged := q.scratch[:0]
+	var cur centroid
+	var cum float64
+	first := true
+	i, j := 0, 0
+	for i < len(cs) || j < len(os) {
+		var next centroid
+		if j >= len(os) || (i < len(cs) && cs[i].mean <= os[j].mean) {
+			next = cs[i]
+			i++
+		} else {
+			next = os[j]
+			j++
+		}
+		if first {
+			cur, first = next, false
+			continue
+		}
+		sum := cur.count + next.count
+		if fits(cum, sum, total, q.compression) {
+			cur.mean += float64(next.count) / float64(sum) * (next.mean - cur.mean)
+			cur.count = sum
+		} else {
+			merged = append(merged, cur)
+			cum += float64(cur.count)
+			cur = next
+		}
+	}
+	if !first {
+		merged = append(merged, cur)
+	}
+	q.scratch = q.centroids[:0]
+	q.centroids = merged
 }
 
-// flush compresses buffered values into the centroid list, merging into
-// the reusable scratch buffer and swapping it with the centroid list so
-// steady-state flushes allocate nothing.
+// flush compresses everything buffered — per-value adds and pending
+// sorted runs — into the centroid list, so readers and merges see the
+// full distribution.
 func (q *QuantileSketch) flush() {
+	q.flushBuf()
+	q.flushPending()
+}
+
+// flushBuf compresses per-value buffered adds into the centroid list.
+// The buffer is sorted and merged in a single pass; steady-state
+// flushes allocate nothing (the previous centroid array becomes the
+// next merge buffer).
+func (q *QuantileSketch) flushBuf() {
 	if len(q.buf) == 0 {
 		return
 	}
-	sort.Float64s(q.buf)
-	merged := q.scratch[:0]
-	if need := len(q.centroids) + len(q.buf); cap(merged) < need {
-		// 2x headroom: the centroid count creeps up a little per flush,
-		// so an exact-size buffer would lag one step behind and
-		// reallocate every time.
-		merged = make([]centroid, 0, 2*need)
-	}
-	i, j := 0, 0
-	for i < len(q.centroids) && j < len(q.buf) {
-		if q.centroids[i].mean <= q.buf[j] {
-			merged = append(merged, q.centroids[i])
-			i++
-		} else {
-			merged = append(merged, centroid{mean: q.buf[j], count: 1})
-			j++
-		}
-	}
-	merged = append(merged, q.centroids[i:]...)
-	for ; j < len(q.buf); j++ {
-		merged = append(merged, centroid{mean: q.buf[j], count: 1})
-	}
+	sortx.Sort(q.buf)
+	q.mergeRun(q.buf)
 	q.buf = q.buf[:0]
-	q.scratch = q.centroids // old list becomes next flush's merge buffer
-	q.centroids = q.compress(merged)
 }
 
-// compress greedily re-clusters a sorted centroid list under the
-// 4·N·q·(1-q)/compression weight bound.
-func (q *QuantileSketch) compress(cs []centroid) []centroid {
-	if len(cs) <= 1 {
-		return cs
+// fits reports whether a cluster of weight sum, preceded by cum mass,
+// respects the t-digest size bound 4·N·q·(1-q)/compression. The check
+// is the classic limit rewritten multiplication-only:
+//
+//	sum ≤ 4·total·mid·(1-mid)/compression,  mid = (cum + sum/2)/total
+//	⟺ sum·total·compression ≤ 4·(cum+sum/2)·(total-(cum+sum/2))
+//
+// which drops two divisions from the innermost loop of every merge.
+// Weight-1 pairs always fit (the historical max(1, limit) floor).
+func fits(cum float64, sum int64, total, compression float64) bool {
+	if sum <= 1 {
+		return true
 	}
+	s := float64(sum)
+	mid := cum + s/2
+	return s*total*compression <= 4*mid*(total-mid)
+}
+
+// mergeRun merges an ascending run of raw values with the sorted
+// centroid list, applying the weight bound inline: one pass replaces
+// the historical merge-then-compress two-pass. q.n must already count
+// the run's values.
+func (q *QuantileSketch) mergeRun(xs []float64) {
+	cs := q.centroids
 	total := float64(q.n)
-	out := cs[:0:cap(cs)]
-	cur := cs[0]
-	cum := 0.0 // mass strictly before cur
-	for _, c := range cs[1:] {
-		sum := cur.count + c.count
-		mid := (cum + float64(sum)/2) / total
-		limit := 4 * total * mid * (1 - mid) / q.compression
-		if float64(sum) <= math.Max(1, limit) {
+	merged := q.scratch[:0]
+	if need := len(cs) + len(xs); cap(merged) < need {
+		// need is the no-compression worst case. Seeding the capacity at
+		// several times the compression — the steady-state centroid
+		// count is Θ(compression·log n) — means each sketch allocates
+		// its two swap buffers once and then runs allocation-free,
+		// instead of doubling its way up call by call.
+		seed := 8 * int(q.compression)
+		if 2*need > seed {
+			seed = 2 * need
+		}
+		merged = make([]centroid, 0, seed)
+	}
+	var cur centroid
+	var cum float64 // mass strictly before cur
+	first := true
+	i, j := 0, 0
+	for i < len(cs) || j < len(xs) {
+		var next centroid
+		if j >= len(xs) || (i < len(cs) && cs[i].mean <= xs[j]) {
+			next = cs[i]
+			i++
+		} else {
+			next = centroid{mean: xs[j], count: 1}
+			j++
+		}
+		if first {
+			cur, first = next, false
+			continue
+		}
+		sum := cur.count + next.count
+		if fits(cum, sum, total, q.compression) {
 			// Weighted-mean absorb.
-			cur.mean += float64(c.count) / float64(sum) * (c.mean - cur.mean)
+			cur.mean += float64(next.count) / float64(sum) * (next.mean - cur.mean)
 			cur.count = sum
 		} else {
-			out = append(out, cur)
+			merged = append(merged, cur)
 			cum += float64(cur.count)
-			cur = c
+			cur = next
 		}
 	}
-	return append(out, cur)
+	if !first {
+		merged = append(merged, cur)
+	}
+	q.scratch = q.centroids[:0] // old list becomes the next merge buffer
+	q.centroids = merged
 }
 
 // Quantile returns the estimated p-quantile for p in [0, 1], interpolating

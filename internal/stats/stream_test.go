@@ -276,3 +276,116 @@ func TestStreamSummary(t *testing.T) {
 		t.Fatalf("median %v vs %v", got.Median, want.Median)
 	}
 }
+
+// TestQuantileSketchAddSortedMatchesExact drives the AddSorted fast
+// path with the hot-path block shape (sorted runs of 48, a simulated
+// rank's thread count) and holds it to the same rank and value
+// tolerances as the buffered Add path.
+func TestQuantileSketchAddSortedMatchesExact(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for name, xs := range streamCases(r, 20016) {
+		t.Run(name, func(t *testing.T) {
+			q := NewQuantileSketch(0)
+			for i := 0; i < len(xs); i += 48 {
+				q.AddSorted(Sorted(xs[i : i+48]))
+			}
+			sorted := Sorted(xs)
+			iqr := IQRSorted(sorted)
+			for _, c := range []struct {
+				p       float64
+				rankTol float64
+			}{
+				{5, 0.02}, {25, 0.015}, {50, 0.015}, {75, 0.015}, {95, 0.02},
+			} {
+				got := q.Percentile(c.p)
+				if rank := empiricalRank(sorted, got); math.Abs(rank-c.p/100) > c.rankTol {
+					t.Errorf("p%g: sketch %v sits at empirical rank %.4f (tol ±%g)", c.p, got, rank, c.rankTol)
+				}
+			}
+			for _, p := range []float64{25, 50, 75} {
+				got, want := q.Percentile(p), PercentileSorted(sorted, p)
+				if math.Abs(got-want) > 0.02*iqr {
+					t.Errorf("p%g: sketch %v vs exact %v (tol %v)", p, got, want, 0.02*iqr)
+				}
+			}
+			if q.Min() != sorted[0] || q.Max() != sorted[len(sorted)-1] {
+				t.Error("sketch min/max not exact")
+			}
+			if q.N() != int64(len(xs)) {
+				t.Fatalf("N = %d, want %d", q.N(), len(xs))
+			}
+			// The AddSorted-only ingestion path must never allocate the
+			// Add buffer — that buffer is what made per-iteration
+			// sketches expensive at the 100x geometry.
+			if q.buf != nil {
+				t.Fatal("AddSorted allocated the Add buffer")
+			}
+		})
+	}
+}
+
+// TestQuantileSketchMixedAddAddSorted interleaves scalar Adds with
+// sorted-run ingestion and checks the combined sketch against the exact
+// distribution — the flush ordering between the two paths must not lose
+// or double-count mass.
+func TestQuantileSketchMixedAddAddSorted(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	xs := make([]float64, 12000)
+	for i := range xs {
+		xs[i] = 5 + 2*r.NormFloat64()
+	}
+	q := NewQuantileSketch(0)
+	i := 0
+	for i < len(xs) {
+		if (i/48)%3 == 0 {
+			for j := 0; j < 48; j++ {
+				q.Add(xs[i+j])
+			}
+		} else {
+			q.AddSorted(Sorted(xs[i : i+48]))
+		}
+		i += 48
+	}
+	if q.N() != int64(len(xs)) {
+		t.Fatalf("N = %d, want %d", q.N(), len(xs))
+	}
+	sorted := Sorted(xs)
+	iqr := IQRSorted(sorted)
+	for _, p := range []float64{25, 50, 75} {
+		got, want := q.Percentile(p), PercentileSorted(sorted, p)
+		if math.Abs(got-want) > 0.02*iqr {
+			t.Errorf("p%g: sketch %v vs exact %v (tol %v)", p, got, want, 0.02*iqr)
+		}
+	}
+	// Mergeability across ingestion styles.
+	q2 := NewQuantileSketch(0)
+	q2.AddSorted(sorted)
+	q.Merge(q2)
+	if q.N() != 2*int64(len(xs)) {
+		t.Fatalf("merged N = %d", q.N())
+	}
+	for _, p := range []float64{25, 50, 75} {
+		got, want := q.Percentile(p), PercentileSorted(sorted, p)
+		if math.Abs(got-want) > 0.02*iqr {
+			t.Errorf("post-merge p%g: %v vs %v", p, got, want)
+		}
+	}
+}
+
+// TestQuantileSketchAddSortedMemoryBound pins the centroid bound for
+// AddSorted-fed sketches (the per-iteration sketches at the 100x
+// geometry live or die on this).
+func TestQuantileSketchAddSortedMemoryBound(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	q := NewQuantileSketch(32)
+	block := make([]float64, 48)
+	for i := 0; i < 200016/48; i++ {
+		for j := range block {
+			block[j] = r.NormFloat64()
+		}
+		q.AddSorted(Sorted(block))
+	}
+	if len(q.centroids) > 10*32 {
+		t.Fatalf("sketch grew to %d centroids (compression 32)", len(q.centroids))
+	}
+}

@@ -22,9 +22,7 @@ func (m *NormalModel) Name() string { return m.AppName }
 func (m *NormalModel) FillProcessIteration(root *rng.Source, trial, rank, iter int, out []float64) {
 	s := iterStream(borrowStream(), root, trial, rank, iter)
 	defer releaseStream(s)
-	for i := range out {
-		out[i] = s.Normal(m.MedianSec, m.SigmaSec)
-	}
+	s.FillNormal(out, m.MedianSec, m.SigmaSec)
 }
 
 // UniformModel draws every thread time uniformly from
@@ -42,9 +40,7 @@ func (m *UniformModel) Name() string { return m.AppName }
 func (m *UniformModel) FillProcessIteration(root *rng.Source, trial, rank, iter int, out []float64) {
 	s := iterStream(borrowStream(), root, trial, rank, iter)
 	defer releaseStream(s)
-	for i := range out {
-		out[i] = s.Uniform(m.MedianSec-m.HalfWidthSec, m.MedianSec+m.HalfWidthSec)
-	}
+	s.FillUniform(out, m.MedianSec-m.HalfWidthSec, m.MedianSec+m.HalfWidthSec)
 }
 
 // SingleLaggardModel reproduces the analytical assumption of the original
@@ -64,9 +60,7 @@ func (m *SingleLaggardModel) Name() string { return m.AppName }
 func (m *SingleLaggardModel) FillProcessIteration(root *rng.Source, trial, rank, iter int, out []float64) {
 	s := iterStream(borrowStream(), root, trial, rank, iter)
 	defer releaseStream(s)
-	for i := range out {
-		out[i] = s.Normal(m.MedianSec, m.JitterSec)
-	}
+	s.FillNormal(out, m.MedianSec, m.JitterSec)
 	out[s.IntN(len(out))] += m.LagSec
 }
 

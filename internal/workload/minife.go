@@ -81,9 +81,10 @@ func (m *MiniFE) FillProcessIteration(root *rng.Source, trial, rank, iter int, o
 		// which widens the application-iteration IQR.
 		median += s.Exp(m.DisturbSec)
 	}
-	for i := range out {
-		out[i] = median - s.Exp(m.EarlyTailSec) + s.Normal(0, m.ThreadJitterSec)
-	}
+	// Block-fused fill: one exponential + one normal per thread, in the
+	// same stream order and with the same FP expression tree as the
+	// historical scalar loop (pinned by the cluster golden fingerprints).
+	s.FillNormalMinusExp(out, median, m.EarlyTailSec, 0, m.ThreadJitterSec)
 	if s.Bernoulli(m.LaggardProb) {
 		victim := s.IntN(len(out))
 		out[victim] = median + m.LaggardBaseSec + s.Exp(m.LaggardTailSec)

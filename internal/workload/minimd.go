@@ -89,9 +89,9 @@ func (m *MiniMD) FillProcessIteration(root *rng.Source, trial, rank, iter int, o
 		// Initial phase: wide, flat-ish arrivals with no laggards.
 		median := m.PhaseOneMedianSec*rate + s.Normal(0, m.IterJitterSec)
 		spread := m.PhaseOneSpreadSec * perturbStream(tmp, root, iter).LogNormal(0, m.PhaseOneLogJitter)
-		for i := range out {
-			out[i] = median + s.Uniform(-spread, spread)
-		}
+		// Block-fused: one uniform per thread, bit-identical to the
+		// historical median + Uniform(-spread, spread) loop.
+		s.AddUniform(out, median, -spread, spread)
 		return
 	}
 
@@ -101,15 +101,12 @@ func (m *MiniMD) FillProcessIteration(root *rng.Source, trial, rank, iter int, o
 	if disturbed {
 		median += s.Exp(m.DisturbSec)
 	}
-	for i := range out {
-		out[i] = median + s.Normal(0, m.SigmaSec)
-		if m.StragglerProb > 0 && s.Bernoulli(m.StragglerProb) {
-			// Sub-millisecond stragglers: too small to count as laggards
-			// under the paper's 1 ms rule, but enough to break normality
-			// in a fraction of process iterations.
-			out[i] += s.Exp(m.StragglerSec)
-		}
-	}
+	// Block-fused: normal draw plus, when StragglerProb > 0, a Bernoulli
+	// gate per thread for the sub-millisecond stragglers — too small to
+	// count as laggards under the paper's 1 ms rule, but enough to break
+	// normality in a fraction of process iterations. Stream order and FP
+	// expression tree match the historical scalar loop exactly.
+	s.FillNormalStragglers(out, median, 0, m.SigmaSec, m.StragglerProb, m.StragglerSec)
 	if s.Bernoulli(m.LaggardProb) {
 		victim := s.IntN(len(out))
 		out[victim] = median + m.LaggardBaseSec + s.Exp(m.LaggardTailSec)

@@ -94,8 +94,8 @@ func (m *MiniQMC) FillProcessIteration(root *rng.Source, trial, rank, iter int, 
 	}
 	sigma := m.SigmaSec * s.LogNormal(0, m.SigmaLogJitter) *
 		perturbStream(tmp, root, iter).LogNormal(0, m.IterSigmaLogJitter)
-	tail := m.ThreadTailSec
-	for i := range out {
-		out[i] = center + s.Normal(0, sigma) + s.Exp(tail) - tail
-	}
+	// Block-fused: one normal + one exponential per thread with the
+	// mean-compensated tail, in the same stream order and FP expression
+	// tree as the historical scalar loop.
+	s.FillNormalExpTail(out, center, 0, sigma, m.ThreadTailSec)
 }

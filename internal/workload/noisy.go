@@ -41,6 +41,13 @@ func (n *Noisy) FillProcessIteration(root *rng.Source, trial, rank, iter int, ou
 	if n.Noise == nil {
 		return
 	}
+	if _, none := n.Noise.(noise.None); none {
+		// noise.None draws nothing and perturbs nothing: skip the noise
+		// stream derivation and the per-thread conversion loop so a
+		// "+noise"-shaped study with the injector disabled costs the
+		// same as the bare model.
+		return
+	}
 	s := root.ChildInto(borrowStream(), pathNoise, uint64(trial), uint64(rank), uint64(iter))
 	defer releaseStream(s)
 	for i, sec := range out {
