@@ -16,6 +16,14 @@
 //	earlybirdd -addr :8081 &                    # worker
 //	earlybirdd -addr :8080 -peers http://localhost:8081   # coordinator
 //
+// Live telemetry rides along: -metrics-addr starts a second listener
+// serving only /metrics (Prometheus), /v1/progress (NDJSON study
+// progress) and /v1/healthz, and -admission-watermark sheds new
+// materialising studies with 503 + Retry-After while live fill
+// efficiency sits below the watermark.
+//
+//	earlybirdd -addr :8080 -metrics-addr :9090 -admission-watermark 0.25
+//
 // The process drains gracefully on SIGINT/SIGTERM: the listener closes
 // immediately, in-flight requests get -drain-timeout to finish.
 package main
@@ -60,6 +68,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		maxSweep      = fs.Int("max-sweep-cached-samples", serve.DefaultMaxCachedSweepSamples, "largest geometry (samples) sweeps keep in the dataset cache; larger cells stream uncached")
 		maxStudy      = fs.Int("max-study-samples", serve.DefaultMaxStudySamples, "largest geometry (samples) the materialising study endpoints accept")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain window")
+		metricsAddr   = fs.String("metrics-addr", "", "optional second listener serving only /metrics, /v1/progress and /v1/healthz (observability without exposing execution)")
+		watermark     = fs.Float64("admission-watermark", 0, "shed new materialising studies with 503 + Retry-After while live fill efficiency is below this (0 disables, max 1)")
 		peers         = fs.String("peers", "", "comma-separated earlybirdd worker URLs; serve as a federation coordinator, fanning sweeps out over /v1/shard")
 		shardsPerCell = fs.Int("shards-per-cell", 0, "trial shards per federated sweep cell (0 = one per healthy peer)")
 		probeEvery    = fs.Duration("probe-interval", 5*time.Second, "how often the coordinator re-probes peer health")
@@ -84,6 +94,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	if *watermark < 0 || *watermark > 1 {
+		return fmt.Errorf("-admission-watermark %v out of range [0, 1]", *watermark)
+	}
+
 	opts := serve.Options{
 		Workers:               *workers,
 		MaxResults:            *maxResults,
@@ -91,6 +105,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		MaxCachedSweepSamples: *maxSweep,
 		MaxStudySamples:       *maxStudy,
 		DefaultDLB:            policy.Spec,
+		AdmissionWatermark:    *watermark,
 	}
 	if !policy.Spec.IsStatic() {
 		fmt.Fprintf(stdout, "earlybirdd: default rebalancing policy %s (requests may override via their policy envelope)\n", policy.Spec)
@@ -112,16 +127,38 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	go func() { errc <- srv.ListenAndServe(*addr) }()
 	fmt.Fprintf(stdout, "earlybirdd: serving on %s (%d workers, %d result slots, %d dataset slots)\n",
 		*addr, srv.Engine().Workers(), *maxResults, *maxDatasets)
+	if *watermark > 0 {
+		fmt.Fprintf(stdout, "earlybirdd: adaptive admission watermark %.2f (shedding with 503 below it)\n", *watermark)
+	}
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: srv.ObservabilityHandler()}
+		go func() {
+			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				select {
+				case errc <- fmt.Errorf("metrics listener: %w", err):
+				default:
+				}
+			}
+		}()
+		fmt.Fprintf(stdout, "earlybirdd: metrics on %s (/metrics, /v1/progress, /v1/healthz)\n", *metricsAddr)
+	}
 
 	select {
 	case err := <-errc:
-		return err // listener failed before any signal
+		return err // a listener failed before any signal
 	case <-ctx.Done():
 	}
 
 	fmt.Fprintf(stdout, "earlybirdd: draining (up to %s)\n", *drainTimeout)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	if metricsSrv != nil {
+		if err := metricsSrv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("metrics drain: %w", err)
+		}
+	}
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}

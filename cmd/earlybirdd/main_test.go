@@ -3,6 +3,10 @@ package main
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
@@ -30,12 +34,15 @@ func TestSplitPeers(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	ctx := context.Background()
 	cases := map[string][]string{
-		"unknown flag":    {"-nope"},
-		"unexpected args": {"extra"},
-		"bad peer url":    {"-peers", "not-a-url"},
-		"listener error":  {"-addr", "127.0.0.1:999999"},
-		"bad dlb":         {"-dlb", "nope"},
-		"dlb cross param": {"-dlb", "drom:factor=2"},
+		"unknown flag":       {"-nope"},
+		"unexpected args":    {"extra"},
+		"bad peer url":       {"-peers", "not-a-url"},
+		"listener error":     {"-addr", "127.0.0.1:999999"},
+		"bad dlb":            {"-dlb", "nope"},
+		"dlb cross param":    {"-dlb", "drom:factor=2"},
+		"watermark too high": {"-admission-watermark", "1.5"},
+		"watermark negative": {"-admission-watermark", "-0.1"},
+		"bad metrics addr":   {"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:999999"},
 	}
 	for name, args := range cases {
 		if _, err := runCmd(t, ctx, args...); err == nil {
@@ -99,6 +106,73 @@ func TestRunCoordinatorMode(t *testing.T) {
 	}
 	if !strings.Contains(out, "coordinating 1 peers (1 healthy)") {
 		t.Errorf("coordinator banner missing:\n%s", out)
+	}
+}
+
+// TestRunMetricsListener: -metrics-addr starts a second listener that
+// serves exactly the observability surface while the daemon runs, and
+// -admission-watermark is announced at startup.
+func TestRunMetricsListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsAddr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	var out string
+	var runErr error
+	go func() {
+		defer close(done)
+		out, runErr = runCmd(t, ctx,
+			"-addr", "127.0.0.1:0", "-metrics-addr", metricsAddr,
+			"-admission-watermark", "0.4", "-drain-timeout", "5s")
+	}()
+
+	var body string
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(fmt.Sprintf("http://%s/metrics", metricsAddr))
+		if err == nil {
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				body = string(raw)
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics listener never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, want := range []string{"earlybird_uptime_seconds", "earlybird_admission_watermark 0.4"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	// The execution API is not exposed on the metrics listener.
+	resp, err := http.Post(fmt.Sprintf("http://%s/v1/study", metricsAddr), "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("metrics listener served /v1/study")
+	}
+
+	cancel()
+	<-done
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	for _, want := range []string{"metrics on " + metricsAddr, "adaptive admission watermark 0.40", "stopped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
 	}
 }
 

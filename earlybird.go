@@ -72,6 +72,7 @@ import (
 	"earlybird/internal/network"
 	"earlybird/internal/partcomm"
 	"earlybird/internal/serve"
+	"earlybird/internal/telemetry"
 	"earlybird/internal/trace"
 )
 
@@ -224,6 +225,22 @@ type ServeOptions = serve.Options
 // embed the API in an existing mux, or ListenAndServe/Shutdown to run it
 // standalone; cmd/earlybirdd is the packaged daemon.
 func NewServer(opts ServeOptions) *Server { return serve.New(opts) }
+
+// Progress is a live point-in-time snapshot of a running (or recently
+// finished) study: trials and sample blocks completed, EWMA fill rate,
+// estimated time to completion, parallel fill efficiency and DLB lend
+// events. Streams from the server's /v1/progress endpoint as NDJSON and
+// appears in /v1/stats under telemetry.active.
+type Progress = telemetry.Progress
+
+// ProgressID derives the stable identifier a study's live progress is
+// published under at /v1/progress?id=. It hashes the same execution
+// coordinates as the engine's dataset cache key (app, geometry, seed,
+// resolved rebalancing policy), so two requests for the same study —
+// including coalesced duplicates — share one progress stream.
+func ProgressID(app string, geom Geometry, policy DLBSpec) string {
+	return serve.ProgressID(app, geom, policy)
+}
 
 // Fleet federates sweep execution across remote earlybirdd workers:
 // health-probed registry, rendezvous cell scheduling, bounded dispatch,

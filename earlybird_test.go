@@ -3,6 +3,8 @@ package earlybird_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -352,5 +354,47 @@ func TestFacadeFleetSweep(t *testing.T) {
 	}
 	if _, err := earlybird.NewFleet(earlybird.FleetOptions{}); err == nil {
 		t.Error("NewFleet with no peers should fail")
+	}
+}
+
+// TestFacadeProgress: ProgressID is deterministic over the study
+// coordinates, and the id published by a server's /v1/progress endpoint
+// after a study is exactly the facade-derived one.
+func TestFacadeProgress(t *testing.T) {
+	geom := earlybird.Geometry{Trials: 1, Ranks: 2, Iterations: 8, Threads: 48, Seed: 7}
+	id := earlybird.ProgressID("minife", geom, earlybird.DLBSpec{})
+	if id == "" || id != earlybird.ProgressID("minife", geom, earlybird.DLBSpec{}) {
+		t.Fatalf("ProgressID not deterministic: %q", id)
+	}
+	if other := earlybird.ProgressID("miniqmc", geom, earlybird.DLBSpec{}); other == id {
+		t.Fatal("distinct apps share a progress id")
+	}
+
+	ts := httptest.NewServer(earlybird.NewServer(earlybird.ServeOptions{Workers: 1}).Handler())
+	defer ts.Close()
+	body := bytes.NewBufferString(`{"app":"minife","geometry":{"trials":1,"ranks":2,"iterations":8,"threads":48,"seed":7}}`)
+	resp, err := http.Post(ts.URL+"/v1/study", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("study status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/progress?id=" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("progress status %d for id %s", resp.StatusCode, id)
+	}
+	var p earlybird.Progress
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if p.ID != id || !p.Done {
+		t.Fatalf("progress = %+v, want done snapshot for %s", p, id)
 	}
 }

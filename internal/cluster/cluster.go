@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"earlybird/internal/dlb"
 	"earlybird/internal/rng"
@@ -123,6 +124,40 @@ type BlockObserver interface {
 	ObserveBlock(trial, rank, iter int, times []float64)
 }
 
+// ProgressSink receives live fill telemetry from a streaming run — the
+// observer-hook half of the TALP-style live performance tracking
+// (internal/telemetry provides the tracker half). Implementations must
+// be safe for concurrent use: every fill worker calls ObserveFill after
+// every produced block.
+//
+// No-perturbation contract: a sink only ever receives counts and
+// durations, never the sample slice, so it cannot perturb the result
+// path; and a nil sink costs one predicted branch per block, so the
+// detached hot path is unchanged (both properties are pinned by tests —
+// golden fingerprints with/without a sink, and the bench gate).
+type ProgressSink interface {
+	// ObserveFill reports one produced process-iteration block: its
+	// sample count and the worker time spent filling it.
+	ObserveFill(samples int, busy time.Duration)
+	// ObserveLend reports a DLB iteration boundary at which n ranks ran
+	// on a lent (non-base) thread allocation. Never called under the
+	// static policy.
+	ObserveLend(n int)
+}
+
+// RunColumnarObserved is RunColumnarDLB with a live progress sink
+// attached to the fill.
+func RunColumnarObserved(model workload.Model, cfg Config, policy dlb.Spec, workers int, progress ProgressSink) (*trace.Columnar, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sink := trace.NewSink(model.Name(), cfg.Trials, cfg.Ranks, cfg.Iterations, cfg.Threads)
+	if _, err := RunStreamObserved(model, cfg, policy, workers, sink, nil, progress); err != nil {
+		return nil, err
+	}
+	return sink.Seal()
+}
+
 // RunStream executes the study as a stream: per-iteration sample blocks
 // are handed to subscribed observers the moment they are produced, and —
 // when sink is nil — discarded immediately afterwards, so a study whose
@@ -161,6 +196,12 @@ func RunStream(model workload.Model, cfg Config, workers int, sink *trace.Sink, 
 // coordinates of every sample block are unchanged — only the
 // deterministic post-scale differs.
 func RunStreamDLB(model workload.Model, cfg Config, policy dlb.Spec, workers int, sink *trace.Sink, newObserver func() BlockObserver) ([]BlockObserver, error) {
+	return RunStreamObserved(model, cfg, policy, workers, sink, newObserver, nil)
+}
+
+// RunStreamObserved is RunStreamDLB with an optional live progress sink
+// (see ProgressSink); nil detaches telemetry at zero cost.
+func RunStreamObserved(model workload.Model, cfg Config, policy dlb.Spec, workers int, sink *trace.Sink, newObserver func() BlockObserver, progress ProgressSink) ([]BlockObserver, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -179,9 +220,9 @@ func RunStreamDLB(model workload.Model, cfg Config, policy dlb.Spec, workers int
 		workers = runtime.NumCPU()
 	}
 	if resolved.IsStatic() {
-		return runStreamStatic(model, cfg, workers, sink, newObserver)
+		return runStreamStatic(model, cfg, workers, sink, newObserver, progress)
 	}
-	return runStreamBalanced(model, cfg, resolved, workers, sink, newObserver)
+	return runStreamBalanced(model, cfg, resolved, workers, sink, newObserver, progress)
 }
 
 // stripeRange divides tasks contiguous stripes among workers: worker w
@@ -201,7 +242,7 @@ func stripeRange(tasks, workers, w int) (lo, hi int) {
 // samples themselves are unchanged because every (trial, rank,
 // iteration) derives its own random stream regardless of which worker
 // fills it.
-func runStreamStatic(model workload.Model, cfg Config, workers int, sink *trace.Sink, newObserver func() BlockObserver) ([]BlockObserver, error) {
+func runStreamStatic(model workload.Model, cfg Config, workers int, sink *trace.Sink, newObserver func() BlockObserver, progress ProgressSink) ([]BlockObserver, error) {
 	root := rng.New(cfg.Seed)
 
 	tasks := cfg.Trials * cfg.Ranks
@@ -224,9 +265,15 @@ func runStreamStatic(model workload.Model, cfg Config, workers int, sink *trace.
 			if sink == nil {
 				scratch = make([]float64, cfg.Threads)
 			}
+			// The progress==nil loops below replicate the detached fill
+			// byte-for-byte: hoisting the branch keeps the instrumented
+			// variables out of the hot loop's register set, so telemetry
+			// is zero-cost when no sink is attached (the bench gate
+			// holds the line).
 			for s := lo; s < hi; s++ {
 				trial, rank := s/cfg.Ranks, s%cfg.Ranks
-				if sink != nil {
+				switch {
+				case sink != nil && progress == nil:
 					sw := sink.Stripe(trial, rank)
 					for i := 0; i < cfg.Iterations; i++ {
 						out := sw.AppendWith(func(out []float64) {
@@ -236,12 +283,33 @@ func runStreamStatic(model workload.Model, cfg Config, workers int, sink *trace.
 							obs.ObserveBlock(trial, rank, i, out)
 						}
 					}
-				} else {
+				case sink == nil && progress == nil:
 					for i := 0; i < cfg.Iterations; i++ {
 						model.FillProcessIteration(root, trial, rank, i, scratch)
 						if obs != nil {
 							obs.ObserveBlock(trial, rank, i, scratch)
 						}
+					}
+				case sink != nil:
+					sw := sink.Stripe(trial, rank)
+					for i := 0; i < cfg.Iterations; i++ {
+						fillStart := time.Now()
+						out := sw.AppendWith(func(out []float64) {
+							model.FillProcessIteration(root, trial, rank, i, out)
+						})
+						if obs != nil {
+							obs.ObserveBlock(trial, rank, i, out)
+						}
+						progress.ObserveFill(len(out), time.Since(fillStart))
+					}
+				default:
+					for i := 0; i < cfg.Iterations; i++ {
+						fillStart := time.Now()
+						model.FillProcessIteration(root, trial, rank, i, scratch)
+						if obs != nil {
+							obs.ObserveBlock(trial, rank, i, scratch)
+						}
+						progress.ObserveFill(len(scratch), time.Since(fillStart))
 					}
 				}
 			}
@@ -259,7 +327,7 @@ func runStreamStatic(model workload.Model, cfg Config, workers int, sink *trace.
 // trials still fill concurrently, and within a task the per-stripe
 // append contract of trace.Sink is honoured because a single goroutine
 // owns all of the trial's stripe writers.
-func runStreamBalanced(model workload.Model, cfg Config, policy dlb.Spec, workers int, sink *trace.Sink, newObserver func() BlockObserver) ([]BlockObserver, error) {
+func runStreamBalanced(model workload.Model, cfg Config, policy dlb.Spec, workers int, sink *trace.Sink, newObserver func() BlockObserver, progress ProgressSink) ([]BlockObserver, error) {
 	root := rng.New(cfg.Seed)
 
 	if workers > cfg.Trials {
@@ -283,6 +351,9 @@ func runStreamBalanced(model workload.Model, cfg Config, policy dlb.Spec, worker
 			}
 			finish := make([]float64, cfg.Ranks)
 			var writers []*trace.StripeWriter
+			// As in runStreamStatic, the progress==nil iteration loop is
+			// the pre-telemetry body verbatim so a detached fill pays
+			// nothing for the hook.
 			for trial := lo; trial < hi; trial++ {
 				bal := policy.NewBalancer(cfg.Ranks, cfg.Threads)
 				if sink != nil {
@@ -291,10 +362,40 @@ func runStreamBalanced(model workload.Model, cfg Config, policy dlb.Spec, worker
 						writers = append(writers, sink.Stripe(trial, r))
 					}
 				}
+				if progress == nil {
+					for i := 0; i < cfg.Iterations; i++ {
+						alloc := bal.Alloc(i)
+						for r := 0; r < cfg.Ranks; r++ {
+							t, r, i := trial, r, i
+							var out []float64
+							if sink != nil {
+								out = writers[r].AppendWith(func(out []float64) {
+									model.FillProcessIteration(root, t, r, i, out)
+									scaleBlock(out, cfg.Threads, alloc[r])
+								})
+							} else {
+								model.FillProcessIteration(root, t, r, i, scratch)
+								scaleBlock(scratch, cfg.Threads, alloc[r])
+								out = scratch
+							}
+							finish[r] = blockMax(out)
+							if obs != nil {
+								obs.ObserveBlock(t, r, i, out)
+							}
+						}
+						bal.Observe(i, finish)
+					}
+					continue
+				}
 				for i := 0; i < cfg.Iterations; i++ {
 					alloc := bal.Alloc(i)
+					lent := 0
 					for r := 0; r < cfg.Ranks; r++ {
 						t, r, i := trial, r, i
+						fillStart := time.Now()
+						if alloc[r] != cfg.Threads {
+							lent++
+						}
 						var out []float64
 						if sink != nil {
 							out = writers[r].AppendWith(func(out []float64) {
@@ -310,8 +411,12 @@ func runStreamBalanced(model workload.Model, cfg Config, policy dlb.Spec, worker
 						if obs != nil {
 							obs.ObserveBlock(t, r, i, out)
 						}
+						progress.ObserveFill(len(out), time.Since(fillStart))
 					}
 					bal.Observe(i, finish)
+					if lent > 0 {
+						progress.ObserveLend(lent)
+					}
 				}
 			}
 		}()

@@ -98,7 +98,7 @@ func streamRun(opts Options, withTable1, withSummary bool) (*StreamResult, error
 		}
 		return o
 	}
-	observers, err := cluster.RunStreamDLB(opts.Model, opts.Geometry, opts.Policy.DLB, 0, nil, newObs)
+	observers, err := cluster.RunStreamObserved(opts.Model, opts.Geometry, opts.Policy.DLB, 0, nil, newObs, opts.Progress)
 	if err != nil {
 		return nil, err
 	}

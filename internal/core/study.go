@@ -75,6 +75,12 @@ type Options struct {
 	//
 	// Deprecated: set Policy.Strategies.
 	Strategies []partcomm.Strategy
+
+	// Progress, when non-nil, receives live fill telemetry from the
+	// study's generation (see cluster.ProgressSink and
+	// internal/telemetry). It only ever observes counts and durations,
+	// never samples, so attaching one cannot change any result.
+	Progress cluster.ProgressSink
 }
 
 // fillPolicy merges the deprecated flat fields into Policy, applies the

@@ -60,11 +60,35 @@ type Engine struct {
 	cache       map[Key]*cacheEntry
 	seq         int64
 	maxDatasets int
+	progress    ProgressFactory
 
 	executions  atomic.Int64
 	inFlight    atomic.Int64
 	evictions   atomic.Int64
 	nestedViews atomic.Int64
+}
+
+// ProgressFactory creates the live telemetry attachment for one dataset
+// generation: the returned sink observes the fill (nil detaches it) and
+// done, when non-nil, is called once the generation finishes — success
+// or failure — so trackers can be retired. Cache hits and coalesced
+// joiners never invoke the factory: one generation, one tracker.
+type ProgressFactory func(model string, geom cluster.Config, policy dlb.Spec) (sink cluster.ProgressSink, done func())
+
+// SetProgress installs the generation telemetry factory (the serve
+// layer's registry wiring); nil detaches it. Generations already in
+// flight keep the factory they started with.
+func (e *Engine) SetProgress(f ProgressFactory) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.progress = f
+}
+
+// progressFactory reads the installed factory.
+func (e *Engine) progressFactory() ProgressFactory {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.progress
 }
 
 // New returns an engine whose campaigns run at most workers studies
@@ -250,7 +274,15 @@ func (e *Engine) entry(model workload.Model, geom cluster.Config, policy dlb.Spe
 		if hint > concurrent {
 			concurrent = hint
 		}
-		entry.col, entry.err = cluster.RunColumnarDLB(model, geom, key.DLB, e.innerWorkers(concurrent))
+		var sink cluster.ProgressSink
+		if f := e.progressFactory(); f != nil {
+			var done func()
+			sink, done = f(model.Name(), geom, key.DLB)
+			if done != nil {
+				defer done()
+			}
+		}
+		entry.col, entry.err = cluster.RunColumnarObserved(model, geom, key.DLB, e.innerWorkers(concurrent), sink)
 	})
 	return entry, hit, entry.err
 }

@@ -1,0 +1,350 @@
+// Chaos suite for the fleet layer: workers with injected latency,
+// stalls, mid-stream disconnects and degraded capacity advertisements.
+// The invariants under every fault mix: each sweep cell is delivered
+// exactly once, merged results stay bit-identical to single-node
+// execution, and capacity-weighted scheduling drains new placements
+// around a degraded worker instead of hammering it. Run under -race via
+// `make test-chaos`.
+
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"earlybird/internal/cluster"
+	"earlybird/internal/fnv"
+	"earlybird/internal/serve"
+)
+
+// chaosWorker wraps a worker with deterministic fault injection on the
+// shard path: per-request latency cycling through latencies, and
+// mid-stream disconnects for the first aborts requests (a partial JSON
+// body is written, then the connection is severed).
+type chaosWorker struct {
+	inner     http.Handler
+	latencies []time.Duration
+	aborts    int64
+
+	requests atomic.Int64
+	aborted  atomic.Int64
+}
+
+func (cw *chaosWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/v1/shard" {
+		cw.inner.ServeHTTP(w, r)
+		return
+	}
+	n := cw.requests.Add(1)
+	if len(cw.latencies) > 0 {
+		time.Sleep(cw.latencies[int(n)%len(cw.latencies)])
+	}
+	if cw.aborted.Load() < cw.aborts {
+		cw.aborted.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"app":"mini`)) // mid-stream: valid prefix, then gone
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}
+	cw.inner.ServeHTTP(w, r)
+}
+
+// stallingWorker never usefully answers the shard path: it holds the
+// request open well past the fleet client's timeout — the worst
+// failure mode, detectable only by timeout. The stall is bounded (not
+// tied to the request context, whose cancellation the server may delay
+// while the request body is unread) so the handler always returns and
+// server shutdown never hangs.
+type stallingWorker struct {
+	inner    http.Handler
+	stall    time.Duration
+	requests atomic.Int64
+}
+
+func (sw *stallingWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/v1/shard" {
+		sw.inner.ServeHTTP(w, r)
+		return
+	}
+	sw.requests.Add(1)
+	select {
+	case <-r.Context().Done():
+	case <-time.After(sw.stall):
+	}
+	http.Error(w, "stalled", http.StatusServiceUnavailable)
+}
+
+// singleNodeRows answers req on one fresh worker — the bit-exactness
+// reference.
+func singleNodeRows(t *testing.T, req serve.SweepRequest) map[int]serve.SweepRow {
+	t.Helper()
+	_, ref := newWorker(t)
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ref.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	want := map[int]serve.SweepRow{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var r serve.SweepRow
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatal(err)
+		}
+		want[r.Index] = r
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// assertBitIdentical compares fleet rows against the single-node
+// reference on every moment-derived metric, the Table 1 row and the
+// recommendation.
+func assertBitIdentical(t *testing.T, rows map[int][]serve.SweepRow, want map[int]serve.SweepRow) {
+	t.Helper()
+	if len(rows) != len(want) {
+		t.Fatalf("cells: fleet %d, single-node %d", len(rows), len(want))
+	}
+	for idx, w := range want {
+		rs := rows[idx]
+		if len(rs) != 1 {
+			t.Fatalf("cell %d delivered %d times, want exactly once", idx, len(rs))
+		}
+		g := rs[0]
+		if g.Err != "" || w.Err != "" {
+			t.Fatalf("cell %d errored: fleet %q single %q", idx, g.Err, w.Err)
+		}
+		if g.Metrics.MeanMedianSec != w.Metrics.MeanMedianSec ||
+			g.Metrics.LaggardFraction != w.Metrics.LaggardFraction ||
+			g.Metrics.AvgReclaimableProcSec != w.Metrics.AvgReclaimableProcSec ||
+			g.Metrics.IdleRatioProc != w.Metrics.IdleRatioProc ||
+			g.Metrics.AvgReclaimableAppIterSec != w.Metrics.AvgReclaimableAppIterSec ||
+			g.Metrics.IdleRatioAppIter != w.Metrics.IdleRatioAppIter {
+			t.Errorf("cell %d metrics diverged:\nfleet  %+v\nsingle %+v", idx, g.Metrics, w.Metrics)
+		}
+		if g.Table1 != w.Table1 {
+			t.Errorf("cell %d Table1 diverged: %+v vs %+v", idx, g.Table1, w.Table1)
+		}
+		if g.Recommendation != w.Recommendation {
+			t.Errorf("cell %d recommendation %q vs %q", idx, g.Recommendation, w.Recommendation)
+		}
+	}
+}
+
+// TestChaosSweepSurvivesLatencyAndDisconnects: a fleet whose workers
+// suffer injected latency and mid-stream disconnects still delivers
+// every cell exactly once, bit-identical to single-node execution, and
+// records the failovers.
+func TestChaosSweepSurvivesLatencyAndDisconnects(t *testing.T) {
+	s1 := serve.New(serve.Options{Workers: 4})
+	slow := &chaosWorker{inner: s1.Handler(), latencies: []time.Duration{
+		0, 2 * time.Millisecond, 5 * time.Millisecond, time.Millisecond, 8 * time.Millisecond,
+	}}
+	w1 := httptest.NewServer(slow)
+	t.Cleanup(w1.Close)
+
+	_, w2 := newWorker(t)
+
+	s3 := serve.New(serve.Options{Workers: 4})
+	dropper := &chaosWorker{inner: s3.Handler(), aborts: 2}
+	w3 := httptest.NewServer(dropper)
+	t.Cleanup(w3.Close)
+
+	f := newFleet(t, Options{Peers: []string{w1.URL, w2.URL, w3.URL}})
+	req := serve.SweepRequest{
+		Apps:       []string{"minife", "minimd", "miniqmc"},
+		Geometries: []cluster.Config{fleetGeom()},
+		Alphas:     []float64{0.05, 0.01},
+	}
+	rows := collectSweep(t, f, req)
+	assertBitIdentical(t, rows, singleNodeRows(t, req))
+
+	snap := f.Snapshot()
+	if got := dropper.aborted.Load(); got > 0 && snap.Failovers == 0 {
+		t.Errorf("%d mid-stream disconnects but no failover recorded", got)
+	}
+	if snap.CellsFailed != 0 {
+		t.Errorf("%d cells failed under recoverable chaos", snap.CellsFailed)
+	}
+}
+
+// TestChaosSweepSurvivesStalledWorker: a worker that accepts shard
+// requests and never answers is cut off by the client timeout, demoted,
+// and its work re-dispatched — the sweep completes exactly.
+func TestChaosSweepSurvivesStalledWorker(t *testing.T) {
+	_, w1 := newWorker(t)
+	_, w2 := newWorker(t)
+	s3 := serve.New(serve.Options{Workers: 4})
+	stall := &stallingWorker{inner: s3.Handler(), stall: 2 * time.Second}
+	w3 := httptest.NewServer(stall)
+	t.Cleanup(w3.Close)
+
+	f := newFleet(t, Options{
+		Peers:  []string{w1.URL, w2.URL, w3.URL},
+		Client: &http.Client{Timeout: 500 * time.Millisecond},
+	})
+	req := serve.SweepRequest{
+		Apps:       []string{"minife", "miniqmc"},
+		Geometries: []cluster.Config{fleetGeom()},
+		Alphas:     []float64{0.05, 0.01},
+	}
+	rows := collectSweep(t, f, req)
+	assertBitIdentical(t, rows, singleNodeRows(t, req))
+
+	snap := f.Snapshot()
+	if stall.requests.Load() > 0 {
+		if snap.Failovers == 0 {
+			t.Error("stalled worker absorbed requests but no failover recorded")
+		}
+		for _, ws := range snap.Workers {
+			if ws.URL == w3.URL && ws.Healthy {
+				t.Error("stalled worker still marked healthy")
+			}
+		}
+	}
+}
+
+// capacityOverride wraps a worker and rewrites its healthz body to
+// advertise the given capacity — a degraded node as the probe sees it.
+type capacityOverride struct {
+	inner    http.Handler
+	capacity float64
+}
+
+func (co *capacityOverride) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/v1/healthz" {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"status":"ok","capacity":%g}`, co.capacity)
+		return
+	}
+	co.inner.ServeHTTP(w, r)
+}
+
+// TestCapacityWeightedSchedulingDrains: after a probe reads one
+// worker's degraded capacity, the rendezvous ranking routes new
+// placements around it — the degraded worker wins far fewer keys than
+// its healthy peers (its fair share scales with capacity), but not
+// zero, and merged sweep results remain bit-identical regardless of
+// the shifted placement.
+func TestCapacityWeightedSchedulingDrains(t *testing.T) {
+	_, w1 := newWorker(t)
+	_, w2 := newWorker(t)
+	s3 := serve.New(serve.Options{Workers: 4})
+	degraded := &capacityOverride{inner: s3.Handler(), capacity: 0.05}
+	w3 := httptest.NewServer(degraded)
+	t.Cleanup(w3.Close)
+
+	f := newFleet(t, Options{Peers: []string{w1.URL, w2.URL, w3.URL}})
+	if got := f.Probe(context.Background()); got != 3 {
+		t.Fatalf("healthy = %d, want 3 (degraded is slow, not down)", got)
+	}
+	for _, ws := range f.Snapshot().Workers {
+		want := 1.0
+		if ws.URL == w3.URL {
+			want = 0.05
+		}
+		if ws.Capacity != want {
+			t.Fatalf("worker %s capacity %v, want %v", ws.URL, ws.Capacity, want)
+		}
+	}
+
+	// Placement statistics over many independent keys: the degraded
+	// worker's first-rank share should be near its capacity fraction
+	// 0.05/2.05 ~ 2.4%, and is asserted <= 10%; each healthy peer takes
+	// roughly half of the rest.
+	const keys = 400
+	wins := map[string]int{}
+	for h := uint64(0); h < keys; h++ {
+		wins[f.rank(fnv.U64(fnv.Offset64, h), 0)[0].url]++
+	}
+	if got := wins[w3.URL]; got > keys/10 {
+		t.Errorf("degraded worker won %d/%d keys, want <= %d", got, keys, keys/10)
+	}
+	if wins[w1.URL] < keys/4 || wins[w2.URL] < keys/4 {
+		t.Errorf("healthy workers underloaded: %v", wins)
+	}
+
+	// The shifted placement must not change the answers.
+	req := serve.SweepRequest{
+		Apps:       []string{"minife", "miniqmc"},
+		Geometries: []cluster.Config{fleetGeom()},
+	}
+	rows := collectSweep(t, f, req)
+	assertBitIdentical(t, rows, singleNodeRows(t, req))
+	if failed := f.Snapshot().CellsFailed; failed != 0 {
+		t.Errorf("%d cells failed with a degraded-capacity worker", failed)
+	}
+}
+
+// TestWeightedRankMatchesUnweightedAtFullCapacity pins the monotone-
+// transform property the capacity weighting relies on: with every
+// worker at full capacity, the weighted ranking is exactly the raw
+// 64-bit rendezvous score order, so introducing capacity weighting
+// changed no placement (and invalidated no worker's dataset cache) on
+// a healthy fleet.
+func TestWeightedRankMatchesUnweightedAtFullCapacity(t *testing.T) {
+	f := newFleet(t, Options{Peers: []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}})
+	for h := uint64(0); h < 256; h++ {
+		for shard := 0; shard < 3; shard++ {
+			base := fnv.U64(fnv.U64(fnv.Offset64, h), uint64(shard))
+			type scored struct {
+				url   string
+				score uint64
+			}
+			raw := make([]scored, len(f.workers))
+			for i, w := range f.workers {
+				raw[i] = scored{url: w.url, score: fnv.U64(base, w.urlHash)}
+			}
+			sort.Slice(raw, func(i, j int) bool {
+				if raw[i].score != raw[j].score {
+					return raw[i].score > raw[j].score
+				}
+				return raw[i].url < raw[j].url
+			})
+			weighted := f.rank(h, shard)
+			for i := range raw {
+				if weighted[i].url != raw[i].url {
+					t.Fatalf("key %d shard %d: weighted rank %d is %s, raw-score order says %s",
+						h, shard, i, weighted[i].url, raw[i].url)
+				}
+			}
+		}
+	}
+}
+
+// TestSetCapacityClamps pins the capacity sanitisation: garbage from a
+// healthz body can never zero a worker out of the ranking or inflate
+// it beyond full weight.
+func TestSetCapacityClamps(t *testing.T) {
+	w := &worker{}
+	for _, c := range []struct{ in, want float64 }{
+		{0.5, 0.5},
+		{1, 1},
+		{0, 1},  // absent/zero means full weight
+		{-3, 1}, // nonsense resets to full
+		{7, 1},  // > 1 resets to full
+		{math.NaN(), 1},
+		{0.001, minCapacity}, // floored
+	} {
+		w.setCapacity(c.in)
+		if got := w.capacity(); got != c.want {
+			t.Errorf("setCapacity(%v) -> %v, want %v", c.in, got, c.want)
+		}
+	}
+}

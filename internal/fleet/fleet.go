@@ -13,14 +13,20 @@
 // sketch's documented rank-error bound) — see internal/analysis's
 // partition-invariance property test.
 //
-// Scheduling is rendezvous hashing on the cell's resolved
-// engine.SpecKey: equal cells route to the same worker from any
-// coordinator, so each worker's LRU dataset cache stays hot across
-// repeated sweeps. Dispatch is bounded (MaxInFlight shard requests in
-// flight fleet-wide) and fails over: a worker that times out or answers
-// 5xx is marked unhealthy and its shard re-dispatched to the next
-// survivor, so a worker killed mid-sweep costs re-execution of its
-// in-flight shards, never a lost or duplicated cell.
+// Scheduling is capacity-weighted rendezvous hashing on the cell's
+// resolved engine.SpecKey: equal cells route to the same worker from
+// any coordinator, so each worker's LRU dataset cache stays hot across
+// repeated sweeps. Health probes read the capacity each worker reports
+// in its /v1/healthz body (its live fill efficiency, from the telemetry
+// layer) and scale that worker's rendezvous keys by it, so a degraded
+// worker gracefully sheds new cells to the rest of the fleet instead of
+// flipping between all-traffic and none. When every worker reports full
+// capacity the weighted ranking is identical to the unweighted one.
+// Dispatch is bounded (MaxInFlight shard requests in flight fleet-wide)
+// and fails over: a worker that times out or answers 5xx is marked
+// unhealthy and its shard re-dispatched to the next survivor, so a
+// worker killed mid-sweep costs re-execution of its in-flight shards,
+// never a lost or duplicated cell.
 package fleet
 
 import (
@@ -29,6 +35,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strings"
@@ -86,6 +93,11 @@ type Options struct {
 	ProbeTimeout time.Duration
 }
 
+// minCapacity floors a worker's scheduling weight: even a saturated
+// worker keeps a sliver of new cells so its recovery is observable
+// without waiting for a probe cycle.
+const minCapacity = 0.05
+
 // worker is one registry entry.
 type worker struct {
 	url      string
@@ -93,6 +105,21 @@ type worker struct {
 	healthy  atomic.Bool
 	shards   atomic.Int64
 	failures atomic.Int64
+	// capacityBits holds the float64 bits of the worker's live scheduling
+	// weight in (0, 1], as last reported by its health probe; workers
+	// start (and plain-"ok" healthz bodies stay) at 1.
+	capacityBits atomic.Uint64
+}
+
+func (w *worker) capacity() float64 { return math.Float64frombits(w.capacityBits.Load()) }
+
+func (w *worker) setCapacity(c float64) {
+	if math.IsNaN(c) || c <= 0 || c > 1 {
+		c = 1
+	} else if c < minCapacity {
+		c = minCapacity
+	}
+	w.capacityBits.Store(math.Float64bits(c))
 }
 
 // Fleet is a federation coordinator. Create with New; safe for
@@ -137,6 +164,7 @@ func New(opts Options) (*Fleet, error) {
 		seen[u] = true
 		w := &worker{url: u, urlHash: fnv.Str(fnv.Offset64, u)}
 		w.healthy.Store(true)
+		w.setCapacity(1)
 		f.workers = append(f.workers, w)
 	}
 	inFlight := opts.MaxInFlight
@@ -169,7 +197,9 @@ func (f *Fleet) Healthy() int {
 
 // Probe health-checks every worker concurrently (GET /v1/healthz) and
 // returns the healthy count. Probes both demote dead workers and revive
-// recovered ones.
+// recovered ones, and read the capacity each healthy worker advertises
+// in its healthz body (falling back to full capacity for bodies that
+// don't carry one).
 func (f *Fleet) Probe(ctx context.Context) int {
 	timeout := f.opts.ProbeTimeout
 	if timeout <= 0 {
@@ -192,9 +222,21 @@ func (f *Fleet) Probe(ctx context.Context) int {
 				w.healthy.Store(false)
 				return
 			}
-			io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 			resp.Body.Close()
-			w.healthy.Store(resp.StatusCode == http.StatusOK)
+			if resp.StatusCode != http.StatusOK {
+				w.healthy.Store(false)
+				return
+			}
+			var hz struct {
+				Capacity *float64 `json:"capacity"`
+			}
+			if json.Unmarshal(body, &hz) == nil && hz.Capacity != nil {
+				w.setCapacity(*hz.Capacity)
+			} else {
+				w.setCapacity(1)
+			}
+			w.healthy.Store(true)
 		}(w)
 	}
 	wg.Wait()
@@ -237,6 +279,7 @@ func (f *Fleet) Snapshot() serve.FleetSnapshot {
 		snap.Workers = append(snap.Workers, serve.FleetWorkerSnapshot{
 			URL:      w.url,
 			Healthy:  w.healthy.Load(),
+			Capacity: w.capacity(),
 			Shards:   w.shards.Load(),
 			Failures: w.failures.Load(),
 		})
@@ -245,23 +288,34 @@ func (f *Fleet) Snapshot() serve.FleetSnapshot {
 }
 
 // rank orders the fleet's workers for one (cell, shard) pair by
-// rendezvous hashing: every coordinator computes the same ranking, the
-// top healthy worker takes the shard, and the ranking itself is the
-// failover order. Shard 0's ranking depends only on the cell key, so a
-// one-shard cell lands on the same worker sweep after sweep.
+// capacity-weighted rendezvous hashing: every coordinator computes the
+// same ranking (given the same probe readings), the top healthy worker
+// takes the shard, and the ranking itself is the failover order. Each
+// worker's 64-bit rendezvous score is mapped to u in (0,1) and weighted
+// as capacity / -ln(u) — the standard weighted-rendezvous key, under
+// which a worker's share of the key space is proportional to its
+// capacity. -ln(u) is strictly decreasing in u, so with equal
+// capacities the weighted order equals the raw-score order and shard
+// placement (hence dataset cache locality) is unchanged from the
+// unweighted scheduler. Shard 0's ranking depends only on the cell key,
+// so a one-shard cell lands on the same worker sweep after sweep while
+// capacities are equal.
 func (f *Fleet) rank(cellHash uint64, shard int) []*worker {
 	type scored struct {
-		w     *worker
-		score uint64
+		w   *worker
+		key float64
 	}
 	base := fnv.U64(fnv.U64(fnv.Offset64, cellHash), uint64(shard))
 	ss := make([]scored, len(f.workers))
 	for i, w := range f.workers {
-		ss[i] = scored{w: w, score: fnv.U64(base, w.urlHash)}
+		score := fnv.U64(base, w.urlHash)
+		// u in (0,1): offset by 0.5 so u is never exactly 0 or 1.
+		u := (float64(score) + 0.5) / float64(1<<63) / 2
+		ss[i] = scored{w: w, key: w.capacity() / -math.Log(u)}
 	}
 	sort.Slice(ss, func(i, j int) bool {
-		if ss[i].score != ss[j].score {
-			return ss[i].score > ss[j].score
+		if ss[i].key != ss[j].key {
+			return ss[i].key > ss[j].key
 		}
 		return ss[i].w.url < ss[j].w.url
 	})

@@ -1,0 +1,8 @@
+//go:build !race
+
+package serve
+
+// raceEnabled reports whether the race detector is compiled in; the
+// in-flight HugeGeometry progress test skips under -race, where the
+// 76.8M-sample fill is an order of magnitude slower.
+const raceEnabled = false

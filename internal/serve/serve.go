@@ -13,6 +13,7 @@ import (
 	"earlybird/internal/cluster"
 	"earlybird/internal/dlb"
 	"earlybird/internal/engine"
+	"earlybird/internal/telemetry"
 )
 
 // Defaults for Options' zero values.
@@ -76,6 +77,20 @@ type Options struct {
 	// (internal/fleet implements the interface) and only run locally when
 	// no healthy peer can take them. /v1/stats gains a fleet section.
 	Fleet FleetDispatcher
+	// AdmissionWatermark enables adaptive admission: while the live
+	// aggregate fill efficiency measured across in-flight studies is
+	// below it, new materialising executions (/v1/study,
+	// /v1/feasibility, campaign entries) are shed with
+	// 503 + Retry-After instead of admitted into the execution
+	// semaphore. Cache hits and coalesced joins are never shed, and
+	// /v1/sweep — the bounded-memory path shed clients are pointed at —
+	// is exempt. 0 (or negative) disables admission control.
+	AdmissionWatermark float64
+	// Telemetry, when non-nil, is the live-telemetry registry the server
+	// feeds and reads; nil creates a fresh one. Supply one to share the
+	// registry with out-of-band consumers (tests inject synthetic
+	// trackers through it).
+	Telemetry *telemetry.Registry
 }
 
 // FleetDispatcher federates sweep cells across remote workers. The serve
@@ -115,6 +130,11 @@ type Server struct {
 	// workers) that ran locally instead.
 	fleetCells     atomic.Int64
 	fleetFallbacks atomic.Int64
+	// tel tracks in-flight study generations (the /v1/progress and
+	// /metrics signal source); admissionSheds counts requests adaptive
+	// admission refused.
+	tel            *telemetry.Registry
+	admissionSheds atomic.Int64
 }
 
 // New returns a ready-to-serve study service.
@@ -142,6 +162,10 @@ func New(opts Options) *Server {
 	if maxStudy <= 0 {
 		maxStudy = DefaultMaxStudySamples
 	}
+	tel := opts.Telemetry
+	if tel == nil {
+		tel = telemetry.NewRegistry()
+	}
 	s := &Server{
 		opts:            opts,
 		eng:             eng,
@@ -153,7 +177,12 @@ func New(opts Options) *Server {
 		maxSweepSamples: maxSweep,
 		maxStudySamples: maxStudy,
 		sem:             make(chan struct{}, eng.Workers()),
+		tel:             tel,
 	}
+	// Every dataset generation this server triggers — directly or via a
+	// shared engine — reports live progress into the registry. A shared
+	// engine's previous factory is replaced; the last server wired wins.
+	eng.SetProgress(s.generationProgress)
 	s.httpSrv = &http.Server{
 		Handler:           s.mux,
 		ReadHeaderTimeout: 10 * time.Second,
@@ -166,7 +195,21 @@ func New(opts Options) *Server {
 	s.route("POST", "/v1/strategies", s.handleStrategies)
 	s.route("GET", "/v1/stats", s.handleStats)
 	s.route("GET", "/v1/healthz", s.handleHealthz)
+	s.route("GET", "/v1/progress", s.handleProgress)
+	s.route("GET", "/metrics", s.handleMetrics)
 	return s
+}
+
+// ObservabilityHandler returns a handler exposing only the read-only
+// observability surface (GET /metrics, GET /v1/progress, GET
+// /v1/healthz) — what cmd/earlybirdd serves on -metrics-addr so scrapes
+// stay off the study listener.
+func (s *Server) ObservabilityHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/progress", s.handleProgress)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return mux
 }
 
 // Engine returns the server's campaign engine, so callers can share its
@@ -179,7 +222,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // route registers one instrumented endpoint.
 func (s *Server) route(method, path string, h http.HandlerFunc) {
-	st := &endpointStats{}
+	st := newEndpointStats()
 	s.endpoints[path] = st
 	s.mux.HandleFunc(method+" "+path, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -326,6 +369,12 @@ func (s *Server) runStudy(wire StudySpec) (engine.Result, Source, error) {
 			n, s.maxStudySamples)
 	}
 	res, src := s.co.do(resolved.Key(), func() (engine.Result, bool) {
+		// Adaptive admission gates the execution, not the lookup: cache
+		// hits and joins to in-flight executions cost no fill capacity
+		// and are always served.
+		if err := s.admit(); err != nil {
+			return engine.Result{Spec: resolved, Err: err}, false
+		}
 		defer s.acquire()()
 		r, _ := s.eng.RunSpec(resolved)
 		return r, r.Err == nil
@@ -357,7 +406,7 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 	}
 	res, src, err := s.runStudy(wire)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeStudyError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, studyResponse(res, src))
@@ -371,7 +420,7 @@ func (s *Server) handleFeasibility(w http.ResponseWriter, r *http.Request) {
 	}
 	res, src, err := s.runStudy(wire)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeStudyError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, FeasibilityResponse{
@@ -441,6 +490,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Workers:         s.eng.Workers(),
 		},
 	}
+	tot := s.tel.Totals()
+	resp.Telemetry = TelemetryStats{
+		StudiesStarted:  tot.StudiesStarted,
+		StudiesFinished: tot.StudiesFinished,
+		ActiveStudies:   tot.ActiveStudies,
+		Blocks:          tot.Blocks,
+		Samples:         tot.Samples,
+		BusySeconds:     tot.BusySeconds,
+		LendEvents:      tot.LendEvents,
+		Active:          s.tel.Active(),
+	}
+	eff, live := s.tel.Efficiency()
+	resp.Admission = AdmissionStats{
+		Watermark:  s.opts.AdmissionWatermark,
+		Efficiency: eff,
+		SignalLive: live,
+		Sheds:      s.admissionSheds.Load(),
+	}
 	for path, st := range s.endpoints {
 		resp.Endpoints[path] = st.snapshot()
 	}
@@ -453,8 +520,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// HealthzResponse is the /v1/healthz reply. Beyond liveness it carries
+// the worker's live load signal: a fleet coordinator's probe loop reads
+// Capacity and weights rendezvous scheduling with it, so cells drain
+// around a degraded worker long before it goes binary-unhealthy.
+type HealthzResponse struct {
+	Status string `json:"status"`
+	// ActiveStudies is the number of generations currently filling.
+	ActiveStudies int `json:"active_studies"`
+	// Efficiency is the live aggregate fill efficiency (0 when idle).
+	Efficiency float64 `json:"efficiency"`
+	// Capacity is the scheduling weight this worker advertises: 1 when
+	// idle, otherwise its live efficiency floored at minWorkerCapacity.
+	Capacity float64 `json:"capacity"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := HealthzResponse{Status: "ok", ActiveStudies: s.tel.ActiveCount(), Capacity: 1}
+	if eff, live := s.tel.Efficiency(); live {
+		resp.Efficiency = eff
+		resp.Capacity = eff
+		if resp.Capacity < minWorkerCapacity {
+			resp.Capacity = minWorkerCapacity
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ListenAndServe listens on addr and serves until Shutdown (returning

@@ -3,13 +3,21 @@ package serve
 import (
 	"sync/atomic"
 	"time"
+
+	"earlybird/internal/telemetry"
 )
 
-// endpointStats aggregates one endpoint's traffic counters.
+// endpointStats aggregates one endpoint's traffic counters: scalar
+// totals for /v1/stats plus a latency histogram for /metrics.
 type endpointStats struct {
 	requests  atomic.Int64
 	errors    atomic.Int64
 	latencyNs atomic.Int64
+	latency   *telemetry.Histogram
+}
+
+func newEndpointStats() *endpointStats {
+	return &endpointStats{latency: telemetry.NewHistogram(telemetry.DefaultLatencyBuckets())}
 }
 
 // record folds one finished request into the counters.
@@ -18,7 +26,9 @@ func (s *endpointStats) record(start time.Time, isError bool) {
 	if isError {
 		s.errors.Add(1)
 	}
-	s.latencyNs.Add(int64(time.Since(start)))
+	elapsed := time.Since(start)
+	s.latencyNs.Add(int64(elapsed))
+	s.latency.Observe(elapsed.Seconds())
 }
 
 // EndpointSnapshot is one endpoint's row of the /v1/stats reply.
@@ -55,9 +65,46 @@ type StatsResponse struct {
 
 	Engine EngineStats `json:"engine"`
 
+	// Telemetry is the live progress layer: lifetime fill totals plus a
+	// snapshot of every in-flight study (what /v1/progress streams).
+	Telemetry TelemetryStats `json:"telemetry"`
+
+	// Admission reports the adaptive-admission loop: the configured
+	// watermark, the live efficiency signal it compares against, and how
+	// many executions it has shed.
+	Admission AdmissionStats `json:"admission"`
+
 	// Fleet reports the federation layer's registry and traffic when the
 	// server runs as a coordinator (Options.Fleet set); nil otherwise.
 	Fleet *FleetSnapshot `json:"fleet,omitempty"`
+}
+
+// TelemetryStats is the /v1/stats telemetry section.
+type TelemetryStats struct {
+	StudiesStarted  int64   `json:"studies_started"`
+	StudiesFinished int64   `json:"studies_finished"`
+	ActiveStudies   int     `json:"active_studies"`
+	Blocks          int64   `json:"blocks"`
+	Samples         int64   `json:"samples"`
+	BusySeconds     float64 `json:"busy_seconds"`
+	LendEvents      int64   `json:"lend_events"`
+	// Active is one live snapshot per in-flight study.
+	Active []telemetry.Progress `json:"active,omitempty"`
+}
+
+// AdmissionStats is the /v1/stats admission section.
+type AdmissionStats struct {
+	// Watermark is the configured fill-efficiency watermark; 0 means
+	// admission control is disabled.
+	Watermark float64 `json:"watermark"`
+	// Efficiency is the live aggregate fill efficiency; only meaningful
+	// while SignalLive.
+	Efficiency float64 `json:"live_fill_efficiency"`
+	// SignalLive reports at least one study is in flight (without one
+	// there is no signal and admission always admits).
+	SignalLive bool `json:"signal_live"`
+	// Sheds counts materialising executions refused with 503.
+	Sheds int64 `json:"sheds"`
 }
 
 // FleetSnapshot is the /v1/stats fleet section: registry state plus the
@@ -89,6 +136,10 @@ type FleetSnapshot struct {
 type FleetWorkerSnapshot struct {
 	URL     string `json:"url"`
 	Healthy bool   `json:"healthy"`
+	// Capacity is the live scheduling weight the last health probe read
+	// from the worker (1 = full weight); rendezvous ranking scales by
+	// it, so a degraded worker keeps only a sliver of new cells.
+	Capacity float64 `json:"capacity"`
 	// Shards counts shard requests this worker answered successfully;
 	// Failures counts requests it failed (transport errors and 5xx).
 	Shards   int64 `json:"shards"`

@@ -174,6 +174,9 @@ func (s *Server) sweepCell(c SweepCell) SweepRow {
 		row.Metrics = analysis.ComputeMetricsStreaming(c.App, col.Cursor(), c.LaggardThresholdSec)
 		row.Table1 = analysis.Table1Streaming(c.App, col.Cursor(), c.Alpha)
 	} else {
+		// The streaming fill bypasses the engine (and its progress
+		// factory), so register the cell's live tracker here.
+		tr := s.newTracker(c.App, c.Geometry, c.DLB)
 		res, err := core.StreamStudy(core.Options{
 			App:      c.App,
 			Geometry: c.Geometry,
@@ -182,7 +185,9 @@ func (s *Server) sweepCell(c SweepCell) SweepRow {
 				Alpha:               c.Alpha,
 				LaggardThresholdSec: c.LaggardThresholdSec,
 			},
+			Progress: tr,
 		})
+		s.tel.Finish(tr)
 		if err != nil {
 			row.Err = err.Error()
 			return row

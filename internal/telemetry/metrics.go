@@ -1,0 +1,182 @@
+// Prometheus text-format primitives: an atomic fixed-bucket histogram
+// and a renderer for the exposition format (version 0.0.4), so the
+// /metrics endpoint needs no client library dependency.
+
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// DefaultLatencyBuckets spans 1 ms to ~16 s in powers of four — wide
+// enough for both cache-hit microsecond answers (first bucket) and
+// HugeGeometry streaming fills.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{0.001, 0.004, 0.016, 0.064, 0.256, 1.024, 4.096, 16.384}
+}
+
+// Histogram is a cumulative fixed-bucket histogram with atomic
+// observation, sufficient for the Prometheus histogram type. Create
+// with NewHistogram; Observe is safe for concurrent use.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; an implicit +Inf follows
+	counts  []atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds (an +Inf bucket is implicit).
+func NewHistogram(bounds []float64) *Histogram {
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a consistent-enough view for rendering: bucket
+// counts are cumulative, as the exposition format requires.
+type HistogramSnapshot struct {
+	Bounds     []float64 // upper bounds, ascending; +Inf implied after
+	Cumulative []int64   // len(Bounds)+1, last is the +Inf (= Count) bucket
+	Sum        float64
+	Count      int64
+}
+
+// Snapshot folds the per-bucket counts into cumulative form.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{
+		Bounds:     h.bounds,
+		Cumulative: make([]int64, len(h.counts)),
+		Sum:        math.Float64frombits(h.sumBits.Load()),
+	}
+	var run int64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		snap.Cumulative[i] = run
+	}
+	// Count from the buckets themselves so the rendered +Inf bucket
+	// always equals the rendered _count, even mid-observation.
+	snap.Count = run
+	return snap
+}
+
+// PromWriter renders Prometheus exposition text. Each metric family is
+// written once via Counter/Gauge/Histogram; label pairs are passed as
+// alternating name, value strings.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, args...)
+	}
+}
+
+// header emits the HELP/TYPE preamble.
+func (p *PromWriter) header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+// labelString renders {k="v",...} from alternating pairs; empty for no
+// labels.
+func labelString(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=\"%s\"", labels[i], escapeLabel(labels[i+1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Counter writes one counter family with a single sample.
+func (p *PromWriter) Counter(name, help string, v float64, labels ...string) {
+	p.header(name, help, "counter")
+	p.Sample(name, v, labels...)
+}
+
+// Gauge writes one gauge family with a single sample.
+func (p *PromWriter) Gauge(name, help string, v float64, labels ...string) {
+	p.header(name, help, "gauge")
+	p.Sample(name, v, labels...)
+}
+
+// CounterVec writes one counter family header; follow with Sample calls
+// for each label combination.
+func (p *PromWriter) CounterVec(name, help string) { p.header(name, help, "counter") }
+
+// GaugeVec writes one gauge family header; follow with Sample calls.
+func (p *PromWriter) GaugeVec(name, help string) { p.header(name, help, "gauge") }
+
+// Sample writes one sample line of an already-headed family.
+func (p *PromWriter) Sample(name string, v float64, labels ...string) {
+	p.printf("%s%s %s\n", name, labelString(labels), formatValue(v))
+}
+
+// HistogramVec writes one histogram family header; follow with
+// HistogramSample calls for each label combination.
+func (p *PromWriter) HistogramVec(name, help string) { p.header(name, help, "histogram") }
+
+// HistogramSample writes one labelled histogram: cumulative buckets,
+// sum and count.
+func (p *PromWriter) HistogramSample(name string, snap HistogramSnapshot, labels ...string) {
+	for i, bound := range snap.Bounds {
+		p.printf("%s_bucket%s %d\n", name,
+			labelString(append(append([]string{}, labels...), "le", formatValue(bound))),
+			snap.Cumulative[i])
+	}
+	p.printf("%s_bucket%s %d\n", name,
+		labelString(append(append([]string{}, labels...), "le", "+Inf")),
+		snap.Cumulative[len(snap.Cumulative)-1])
+	p.printf("%s_sum%s %s\n", name, labelString(labels), formatValue(snap.Sum))
+	p.printf("%s_count%s %d\n", name, labelString(labels), snap.Count)
+}

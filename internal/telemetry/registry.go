@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// completedKeep bounds how many finished trackers the registry retains
+// for late /v1/progress lookups that race a study's completion.
+const completedKeep = 32
+
+// Registry is a server's set of live study trackers plus the lifetime
+// fill counters the /metrics endpoint exports. Safe for concurrent use.
+type Registry struct {
+	mu        sync.Mutex
+	active    map[string]*Tracker
+	completed map[string]*Tracker
+	order     []string // completion order, oldest first
+
+	started  int64
+	finished int64
+	// Folded totals of finished trackers; live totals add the active set.
+	blocks  int64
+	samples int64
+	busyNs  int64
+	lends   int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{active: map[string]*Tracker{}, completed: map[string]*Tracker{}}
+}
+
+// Register adds a tracker to the active set. A tracker with an already
+// active ID replaces the stale entry (the previous study with that
+// identity is being re-run, e.g. after a cache eviction).
+func (r *Registry) Register(t *Tracker) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.active[t.ID()] = t
+	r.started++
+}
+
+// Finish marks the tracker done, folds its counters into the lifetime
+// totals, and moves it from the active set to the completed ring.
+func (r *Registry) Finish(t *Tracker) {
+	t.Finish()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.active[t.ID()] == t {
+		delete(r.active, t.ID())
+	}
+	r.finished++
+	r.blocks += t.blocks.Load()
+	r.samples += t.samples.Load()
+	r.busyNs += t.busyNs.Load()
+	r.lends += t.lends.Load()
+	if _, ok := r.completed[t.ID()]; !ok {
+		r.order = append(r.order, t.ID())
+	}
+	r.completed[t.ID()] = t
+	for len(r.order) > completedKeep {
+		delete(r.completed, r.order[0])
+		r.order = r.order[1:]
+	}
+}
+
+// Get resolves a progress ID against the active set first, then the
+// completed ring (whose trackers answer with their frozen final state).
+func (r *Registry) Get(id string) (*Tracker, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.active[id]; ok {
+		return t, true
+	}
+	t, ok := r.completed[id]
+	return t, ok
+}
+
+// Active snapshots every in-flight study, sorted by ID for stable
+// output.
+func (r *Registry) Active() []Progress {
+	r.mu.Lock()
+	trackers := make([]*Tracker, 0, len(r.active))
+	for _, t := range r.active {
+		trackers = append(trackers, t)
+	}
+	r.mu.Unlock()
+	sort.Slice(trackers, func(i, j int) bool { return trackers[i].ID() < trackers[j].ID() })
+	out := make([]Progress, len(trackers))
+	for i, t := range trackers {
+		out[i] = t.Snapshot()
+	}
+	return out
+}
+
+// ActiveCount returns the number of in-flight studies.
+func (r *Registry) ActiveCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.active)
+}
+
+// Efficiency is the live aggregate parallel efficiency across the
+// active studies: total useful fill time over total workersxwall time,
+// so a large study weighs more than a tiny one. ok is false when no
+// study is in flight — there is no live signal, and adaptive admission
+// must admit.
+func (r *Registry) Efficiency() (eff float64, ok bool) {
+	r.mu.Lock()
+	trackers := make([]*Tracker, 0, len(r.active))
+	for _, t := range r.active {
+		trackers = append(trackers, t)
+	}
+	r.mu.Unlock()
+	if len(trackers) == 0 {
+		return 0, false
+	}
+	var busy, wall time.Duration
+	for _, t := range trackers {
+		b, w := t.busyAndWall()
+		busy += b
+		wall += w
+	}
+	if wall <= 0 {
+		return 0, false
+	}
+	return clamp01(busy.Seconds() / wall.Seconds()), true
+}
+
+// MinETA returns the smallest positive ETA among active studies — the
+// Retry-After hint adaptive admission sheds with. ok is false when no
+// active study has a known ETA.
+func (r *Registry) MinETA() (eta time.Duration, ok bool) {
+	for _, p := range r.Active() {
+		if p.ETASec <= 0 {
+			continue
+		}
+		d := time.Duration(p.ETASec * float64(time.Second))
+		if !ok || d < eta {
+			eta, ok = d, true
+		}
+	}
+	return eta, ok
+}
+
+// Totals is the registry's lifetime counter snapshot for /metrics:
+// folded finished-tracker counts plus the live active set.
+type Totals struct {
+	StudiesStarted  int64
+	StudiesFinished int64
+	ActiveStudies   int
+	Blocks          int64
+	Samples         int64
+	BusySeconds     float64
+	LendEvents      int64
+}
+
+// Totals snapshots the lifetime counters.
+func (r *Registry) Totals() Totals {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tt := Totals{
+		StudiesStarted:  r.started,
+		StudiesFinished: r.finished,
+		ActiveStudies:   len(r.active),
+		Blocks:          r.blocks,
+		Samples:         r.samples,
+		BusySeconds:     time.Duration(r.busyNs).Seconds(),
+		LendEvents:      r.lends,
+	}
+	for _, t := range r.active {
+		tt.Blocks += t.blocks.Load()
+		tt.Samples += t.samples.Load()
+		tt.BusySeconds += time.Duration(t.busyNs.Load()).Seconds()
+		tt.LendEvents += t.lends.Load()
+	}
+	return tt
+}

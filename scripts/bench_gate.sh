@@ -27,10 +27,20 @@ if [ ! -f "$BASELINE" ]; then
     exit 1
 fi
 
-{
-    go test -run '^$' -bench 'BenchmarkStudyStreaming$' -benchtime 3x -count "$COUNT" .
-    go test -run '^$' -bench '^BenchmarkFillDLB$' -benchtime 3x -count "$COUNT" ./internal/cluster
-} | tee "$CURRENT"
+# BENCH_GATE_COMPARE_ONLY=1 skips the benchmark run and compares an
+# existing $CURRENT against $BASELINE — scripts/bench_gate_test.sh uses
+# it to exercise every verdict path without running real benchmarks.
+if [ "${BENCH_GATE_COMPARE_ONLY:-0}" = "1" ]; then
+    if [ ! -f "$CURRENT" ]; then
+        echo "bench gate: compare-only mode needs $CURRENT" >&2
+        exit 1
+    fi
+else
+    {
+        go test -run '^$' -bench 'BenchmarkStudyStreaming$' -benchtime 3x -count "$COUNT" .
+        go test -run '^$' -bench '^BenchmarkFillDLB$' -benchtime 3x -count "$COUNT" ./internal/cluster
+    } | tee "$CURRENT"
+fi
 
 if command -v benchstat >/dev/null 2>&1; then
     echo
@@ -75,6 +85,16 @@ awk -v pct="$PCT" '
             }
             printf "bench gate: %-40s base %12.0f ns/op  current %12.0f ns/op  (limit +%s%%: %12.0f)  %s\n", \
                 name, base[name], cur[name], pct, limit, verdict
+        }
+        # A benchmark that ran but has no baseline entry must fail
+        # loudly: silently skipping it would let a newly gated (or
+        # renamed) benchmark drift with no gate at all until someone
+        # noticed the baseline was stale.
+        for (name in cur) {
+            if (!(name in base)) {
+                printf "bench gate: %s missing from baseline (refresh with scripts/bench_baseline.sh and commit)\n", name
+                fail = 1
+            }
         }
         exit fail
     }

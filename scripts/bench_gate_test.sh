@@ -1,0 +1,72 @@
+#!/bin/sh
+# Shell test for scripts/bench_gate.sh's comparison logic, run via
+# `make test-scripts` (and CI). Uses BENCH_GATE_COMPARE_ONLY=1 with
+# synthetic baseline/current files so no benchmark executes; asserts
+# every verdict path, in particular the once-silent one: a benchmark
+# present in the current run but missing from the baseline must FAIL
+# the gate, not slide through unguarded.
+set -eu
+
+here=$(cd "$(dirname "$0")" && pwd)
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+fails=0
+check() {
+    desc=$1 want=$2 base=$3 cur=$4
+    printf '%s\n' "$base" > "$tmp/base.txt"
+    printf '%s\n' "$cur" > "$tmp/cur.txt"
+    if (
+        cd "$tmp" &&
+        BENCH_GATE_COMPARE_ONLY=1 BENCH_BASELINE=base.txt BENCH_CURRENT=cur.txt \
+            sh "$here/bench_gate.sh" > out.txt 2>&1
+    ); then got=pass; else got=fail; fi
+    if [ "$got" != "$want" ]; then
+        echo "FAIL: $desc — gate ${got}ed, want $want"
+        sed 's/^/    /' "$tmp/out.txt"
+        fails=$((fails + 1))
+    else
+        echo "ok: $desc"
+    fi
+}
+
+within="BenchmarkStudyStreaming-8 3 1000000 ns/op"
+slower="BenchmarkStudyStreaming-8 3 1090000 ns/op"
+regressed="BenchmarkStudyStreaming-8 3 1200000 ns/op"
+fill="BenchmarkFillDLB/static-8 3 500000 ns/op"
+
+check "identical results pass" pass "$within" "$within"
+check "regression within the 10% budget passes" pass "$within" "$slower"
+check "regression beyond the budget fails" fail "$within" "$regressed"
+check "benchmark missing from current run fails" fail "$within
+$fill" "$within"
+check "benchmark missing from baseline fails loudly" fail "$within" "$within
+$fill"
+check "empty baseline fails" fail "" "$within"
+# The GOMAXPROCS suffix must not defeat matching across core counts.
+check "differing -P suffixes still compare" pass \
+    "BenchmarkStudyStreaming-48 3 1000000 ns/op" \
+    "BenchmarkStudyStreaming-4 3 1000000 ns/op"
+# Min-of-count semantics: one fast run among slow ones keeps the gate
+# green on both sides.
+check "minimum across repeated runs is compared" pass "$within
+$regressed" "$regressed
+$within"
+
+# Compare-only mode itself must insist on an existing current file.
+if (
+    cd "$tmp" && rm -f cur.txt && printf '%s\n' "$within" > base.txt &&
+    BENCH_GATE_COMPARE_ONLY=1 BENCH_BASELINE=base.txt BENCH_CURRENT=cur.txt \
+        sh "$here/bench_gate.sh" > out.txt 2>&1
+); then
+    echo "FAIL: compare-only without a current file passed"
+    fails=$((fails + 1))
+else
+    echo "ok: compare-only without a current file fails"
+fi
+
+if [ "$fails" -ne 0 ]; then
+    echo "bench_gate_test: $fails case(s) failed"
+    exit 1
+fi
+echo "bench_gate_test: all cases passed"
