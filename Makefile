@@ -9,7 +9,7 @@ GO ?= go
 # climbs, never lower it).
 COVER_FLOOR ?= 80.0
 
-.PHONY: all build test race race-fleet test-chaos test-scripts bench bench-json bench-gate bench-baseline profile lint fmt docs-check cover fuzz-smoke
+.PHONY: all build test race race-fleet test-chaos test-scripts bench bench-json bench-gate bench-baseline profile lint fmt docs-check cover fuzz-smoke clean-store
 
 all: build lint docs-check test
 
@@ -30,13 +30,22 @@ race-fleet:
 	$(GO) test -race -count=1 -run 'Fleet|Coordinator|Shard' ./internal/fleet ./internal/serve
 
 # The chaos suite under the race detector, uncached: fleets with
-# injected latency, mid-stream disconnects, stalls and capacity drain
-# must still deliver every sweep cell bit-identical to single-node
+# injected latency, mid-stream disconnects, stalls, capacity drain,
+# armed stragglers (speculative re-dispatch must stay bit-identical),
+# shedding workers (503 + Retry-After is busy, not dead), store
+# corruption/concurrent writers and mid-sweep membership churn must
+# still deliver every sweep cell bit-identical to single-node
 # execution, and the telemetry observer must not perturb a single
 # generated bit (the no-perturbation fingerprints in internal/cluster).
 test-chaos:
-	$(GO) test -race -count=1 -run 'TestChaos|TestCapacity|TestWeighted|TestSetCapacity' ./internal/fleet
+	$(GO) test -race -count=1 -run 'TestChaos|TestCapacity|TestWeighted|TestSetCapacity|TestShed|TestPlain503|TestStore|TestJoin|TestLease|TestDynamic' ./internal/fleet
 	$(GO) test -race -count=1 -run 'TestProgressSink' ./internal/cluster
+
+# Drop the durable result store a local coordinator accumulated
+# (override STORE_DIR to match your -store-dir).
+STORE_DIR ?= .earlybird-store
+clean-store:
+	rm -rf $(STORE_DIR)
 
 # Shell-level tests for the repo's scripts — today the bench gate's
 # comparison verdicts (scripts/bench_gate_test.sh), in particular that a

@@ -82,6 +82,7 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 		bwGBs      = fs.Float64("bandwidth-gbs", 12.5, "fabric bandwidth (GB/s)")
 		remote     = fs.String("remote", "", "base URL of a running earlybirdd (assess via the service instead of in-process)")
 		fleetCSV   = fs.String("fleet", "", "comma-separated earlybirdd worker URLs: federate the study across them (shards merged client-side)")
+		storeDir   = fs.String("store-dir", "", "durable result store directory for -fleet: merged cells persist there and repeat runs are served from disk")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -112,6 +113,10 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-dlb shapes dataset generation; a pre-collected dataset (-in) is already shaped")
 	}
 
+	if *storeDir != "" && *fleetCSV == "" {
+		return fmt.Errorf("-store-dir only applies to federated execution; add -fleet")
+	}
+
 	opts := cli{
 		app:        app.Name,
 		in:         *in,
@@ -123,6 +128,7 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 		strategies: *strategies,
 		dlb:        policy.Spec,
 		dlbSet:     policy.IsSet,
+		storeDir:   *storeDir,
 	}
 
 	switch {
@@ -173,6 +179,7 @@ type cli struct {
 	strategies bool
 	dlb        dlb.Spec
 	dlbSet     bool
+	storeDir   string // -store-dir: durable result store for -fleet
 }
 
 // dlbPointer renders the -dlb flag for request fields that take a bare
@@ -226,12 +233,22 @@ func printSweep(w io.Writer, app string, sw partcomm.Sweep) {
 // runFleet federates the study (or the strategy sweep) across a fleet of
 // workers and renders the merged result.
 func runFleet(w io.Writer, peersCSV string, o cli) error {
-	fl, err := fleet.New(fleet.Options{Peers: fleet.SplitPeers(peersCSV)})
+	fopts := fleet.Options{Peers: fleet.SplitPeers(peersCSV)}
+	if o.storeDir != "" {
+		st, err := fleet.OpenStore(o.storeDir, nil)
+		if err != nil {
+			return err
+		}
+		fopts.Store = st
+	}
+	fl, err := fleet.New(fopts)
 	if err != nil {
 		return err
 	}
 	ctx := context.Background()
-	if healthy := fl.Probe(ctx); healthy == 0 {
+	// With a warm store the sweep can answer from disk even when every
+	// worker is down, so an empty probe is only fatal without one.
+	if healthy := fl.Probe(ctx); healthy == 0 && o.storeDir == "" {
 		return fmt.Errorf("no healthy workers among %v", fl.Workers())
 	}
 
@@ -274,7 +291,11 @@ func runFleet(w io.Writer, peersCSV string, o cli) error {
 			return fmt.Errorf("fleet: %s", row.Err)
 		}
 		workers := slices.Compact(slices.Sorted(slices.Values(row.ShardWorkers)))
-		fmt.Fprintf(w, "federated %s as %d trial shards over %d workers\n", row.App, row.Shards, len(workers))
+		if row.StoreHit {
+			fmt.Fprintf(w, "served %s from the durable result store (no shards dispatched)\n", row.App)
+		} else {
+			fmt.Fprintf(w, "federated %s as %d trial shards over %d workers\n", row.App, row.Shards, len(workers))
+		}
 		fmt.Fprintln(w, row.Metrics)
 		fmt.Fprintln(w, row.Table1)
 		fmt.Fprintf(w, "recommendation: %s\n", row.Recommendation)

@@ -37,14 +37,15 @@ func TestRunMainConflicts(t *testing.T) {
 		"fleet bad url":      {"-app", "minife", "-fleet", "not-a-url"},
 		"fleet sweep drops feasibility flags": {
 			"-app", "minife", "-fleet", "http://x", "-bin-timeout-ms", "0.5"},
-		"missing input file": {"-in", "does-not-exist.json"},
-		"unknown app":        {"-app", "lulesh"},
-		"bad geometry":       {"-app", "minife", "-geometry", "3x4"},
-		"bad dlb":            {"-app", "minife", "-dlb", "nope"},
-		"dlb cross param":    {"-app", "minife", "-dlb", "lewi:reaction=3"},
-		"geometry vs trials": {"-app", "minife", "-geometry", "quick", "-trials", "2"},
-		"geometry vs iters":  {"-app", "minife", "-geometry", "quick", "-iters", "8"},
-		"dlb with in":        {"-in", "fe.json", "-dlb", "lewi"},
+		"missing input file":      {"-in", "does-not-exist.json"},
+		"unknown app":             {"-app", "lulesh"},
+		"bad geometry":            {"-app", "minife", "-geometry", "3x4"},
+		"bad dlb":                 {"-app", "minife", "-dlb", "nope"},
+		"dlb cross param":         {"-app", "minife", "-dlb", "lewi:reaction=3"},
+		"geometry vs trials":      {"-app", "minife", "-geometry", "quick", "-trials", "2"},
+		"geometry vs iters":       {"-app", "minife", "-geometry", "quick", "-iters", "8"},
+		"dlb with in":             {"-in", "fe.json", "-dlb", "lewi"},
+		"store-dir without fleet": {"-app", "minife", "-store-dir", "x"},
 	}
 	for name, args := range cases {
 		if _, err := runCmd(t, args...); err == nil {
@@ -173,5 +174,46 @@ func TestRunMainFleetNoHealthyWorkers(t *testing.T) {
 	dead.Close()
 	if _, err := runCmd(t, "-app", "minife", "-fleet", dead.URL); err == nil {
 		t.Fatal("expected error with no healthy workers")
+	}
+}
+
+// TestRunMainFleetStore: a federated run with -store-dir persists its
+// merged cell, and a repeat invocation — even against a fleet whose
+// only worker is long dead — answers from the durable store.
+func TestRunMainFleetStore(t *testing.T) {
+	dir := t.TempDir()
+	w := newService(t)
+	cold, err := runCmd(t, "-app", "minife", "-trials", "2", "-iters", "8",
+		"-fleet", w.URL, "-store-dir", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cold, "federated minife as") {
+		t.Fatalf("cold run did not federate:\n%s", cold)
+	}
+
+	dead := httptest.NewServer(nil)
+	dead.Close()
+	warm, err := runCmd(t, "-app", "minife", "-trials", "2", "-iters", "8",
+		"-fleet", dead.URL, "-store-dir", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm, "served minife from the durable result store (no shards dispatched)") {
+		t.Fatalf("warm run not served from the store:\n%s", warm)
+	}
+	if !strings.Contains(warm, "recommendation:") {
+		t.Fatalf("warm run missing the merged row:\n%s", warm)
+	}
+	// The store hit carries the exact bytes of the federated row.
+	trim := func(s string) string {
+		_, rest, ok := strings.Cut(s, "\n")
+		if !ok {
+			t.Fatalf("one-line output: %q", s)
+		}
+		return rest
+	}
+	if trim(cold) != trim(warm) {
+		t.Errorf("store-served row differs from the federated row:\ncold:\n%s\nwarm:\n%s", cold, warm)
 	}
 }

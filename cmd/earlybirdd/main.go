@@ -16,6 +16,16 @@
 //	earlybirdd -addr :8081 &                    # worker
 //	earlybirdd -addr :8080 -peers http://localhost:8081   # coordinator
 //
+// -coordinator opens the fleet to dynamic membership: workers register
+// themselves over POST /v1/fleet/join (the -join/-advertise flags run
+// the worker-side heartbeat) and hold a -lease the coordinator's probe
+// loop expires, so a silent worker deregisters itself. -store-dir adds
+// the durable result store: merged sweep cells persist on disk keyed by
+// their spec hash and survive coordinator restarts.
+//
+//	earlybirdd -addr :8080 -coordinator -store-dir .earlybird-store &
+//	earlybirdd -addr :8081 -join http://localhost:8080 -advertise http://localhost:8081
+//
 // Live telemetry rides along: -metrics-addr starts a second listener
 // serving only /metrics (Prometheus), /v1/progress (NDJSON study
 // progress) and /v1/healthz, and -admission-watermark sheds new
@@ -29,7 +39,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -73,6 +85,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		peers         = fs.String("peers", "", "comma-separated earlybirdd worker URLs; serve as a federation coordinator, fanning sweeps out over /v1/shard")
 		shardsPerCell = fs.Int("shards-per-cell", 0, "trial shards per federated sweep cell (0 = one per healthy peer)")
 		probeEvery    = fs.Duration("probe-interval", 5*time.Second, "how often the coordinator re-probes peer health")
+		coordinator   = fs.Bool("coordinator", false, "serve as a federation coordinator with dynamic membership: workers register over POST /v1/fleet/join (usable with or without a static -peers seed)")
+		lease         = fs.Duration("lease", fleet.DefaultLeaseTTL, "membership lease for dynamically joined workers; a worker that stops renewing is evicted")
+		storeDir      = fs.String("store-dir", "", "durable result store directory (coordinator mode): merged sweep cells persist there and survive restarts")
+		join          = fs.String("join", "", "coordinator base URL to register with as a worker (requires -advertise)")
+		advertise     = fs.String("advertise", "", "externally reachable base URL of this worker, sent on -join")
 		policy        = cliopts.DLB(fs)
 	)
 	if err := fs.Parse(args); err != nil {
@@ -84,14 +101,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
-	if *peers == "" {
+	coordMode := *peers != "" || *coordinator
+	if !coordMode {
 		set := map[string]bool{}
 		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
-		for _, name := range []string{"shards-per-cell", "probe-interval"} {
+		for _, name := range []string{"shards-per-cell", "probe-interval", "lease", "store-dir"} {
 			if set[name] {
-				return fmt.Errorf("-%s only applies to coordinator mode; add -peers", name)
+				return fmt.Errorf("-%s only applies to coordinator mode; add -peers or -coordinator", name)
 			}
 		}
+	}
+	if *join != "" && *advertise == "" {
+		return fmt.Errorf("-join requires -advertise (the URL the coordinator will dispatch shards to)")
+	}
+	if *advertise != "" && *join == "" {
+		return fmt.Errorf("-advertise only applies with -join")
 	}
 
 	if *watermark < 0 || *watermark > 1 {
@@ -110,14 +134,33 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if !policy.Spec.IsStatic() {
 		fmt.Fprintf(stdout, "earlybirdd: default rebalancing policy %s (requests may override via their policy envelope)\n", policy.Spec)
 	}
-	if *peers != "" {
-		fl, err := fleet.New(fleet.Options{Peers: fleet.SplitPeers(*peers), ShardsPerCell: *shardsPerCell})
+	if coordMode {
+		fopts := fleet.Options{
+			Peers:         fleet.SplitPeers(*peers),
+			ShardsPerCell: *shardsPerCell,
+			Dynamic:       *coordinator,
+			LeaseTTL:      *lease,
+		}
+		if *storeDir != "" {
+			st, err := fleet.OpenStore(*storeDir, nil)
+			if err != nil {
+				return err
+			}
+			fopts.Store = st
+			fmt.Fprintf(stdout, "earlybirdd: durable result store in %s\n", st.Dir())
+		}
+		fl, err := fleet.New(fopts)
 		if err != nil {
 			return err
 		}
-		healthy := fl.Probe(ctx)
-		fmt.Fprintf(stdout, "earlybirdd: coordinating %d peers (%d healthy): %s\n",
-			len(fl.Workers()), healthy, strings.Join(fl.Workers(), ", "))
+		if len(fl.Workers()) > 0 {
+			healthy := fl.Probe(ctx)
+			fmt.Fprintf(stdout, "earlybirdd: coordinating %d peers (%d healthy): %s\n",
+				len(fl.Workers()), healthy, strings.Join(fl.Workers(), ", "))
+		}
+		if *coordinator {
+			fmt.Fprintf(stdout, "earlybirdd: accepting dynamic workers on POST /v1/fleet/join (lease %s)\n", *lease)
+		}
 		fl.StartProbes(ctx, *probeEvery)
 		opts.Fleet = fl
 	}
@@ -129,6 +172,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		*addr, srv.Engine().Workers(), *maxResults, *maxDatasets)
 	if *watermark > 0 {
 		fmt.Fprintf(stdout, "earlybirdd: adaptive admission watermark %.2f (shedding with 503 below it)\n", *watermark)
+	}
+	if *join != "" {
+		go heartbeat(ctx, strings.TrimRight(*join, "/"), *advertise, stdout, stderr)
 	}
 
 	var metricsSrv *http.Server
@@ -167,4 +213,68 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintln(stdout, "earlybirdd: stopped")
 	return nil
+}
+
+// heartbeat is the worker side of dynamic membership: it registers this
+// daemon with a coordinator over POST /v1/fleet/join and renews the
+// granted lease at a third of its duration, so two missed heartbeats
+// still keep the lease alive. A lost coordinator is retried until ctx
+// ends; on shutdown the worker deregisters best-effort so the
+// coordinator need not wait for lease expiry.
+func heartbeat(ctx context.Context, coordinator, advertise string, stdout, stderr io.Writer) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	post := func(ctx context.Context, path string) (serve.FleetJoinResponse, error) {
+		var out serve.FleetJoinResponse
+		body, err := json.Marshal(serve.FleetJoinRequest{URL: advertise})
+		if err != nil {
+			return out, err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, coordinator+path, bytes.NewReader(body))
+		if err != nil {
+			return out, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return out, err
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if resp.StatusCode != http.StatusOK {
+			return out, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(raw))
+		}
+		_ = json.Unmarshal(raw, &out)
+		return out, nil
+	}
+	joined := false
+	delay := time.Duration(0) // register immediately, then pace by the lease
+	for {
+		select {
+		case <-ctx.Done():
+			if joined {
+				lctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				_, _ = post(lctx, "/v1/fleet/leave")
+				cancel()
+			}
+			return
+		case <-time.After(delay):
+		}
+		out, err := post(ctx, "/v1/fleet/join")
+		if err != nil {
+			if joined || delay == 0 {
+				fmt.Fprintf(stderr, "earlybirdd: fleet join %s failed: %v (retrying)\n", coordinator, err)
+			}
+			joined = false
+			delay = 2 * time.Second
+			continue
+		}
+		if !joined {
+			fmt.Fprintf(stdout, "earlybirdd: joined fleet at %s as %s (lease %.0fs)\n", coordinator, advertise, out.LeaseSec)
+		}
+		joined = true
+		delay = time.Duration(out.LeaseSec / 3 * float64(time.Second))
+		if delay < time.Second {
+			delay = time.Second
+		}
+	}
 }

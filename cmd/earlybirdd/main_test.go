@@ -8,8 +8,11 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -34,15 +37,17 @@ func TestSplitPeers(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	ctx := context.Background()
 	cases := map[string][]string{
-		"unknown flag":       {"-nope"},
-		"unexpected args":    {"extra"},
-		"bad peer url":       {"-peers", "not-a-url"},
-		"listener error":     {"-addr", "127.0.0.1:999999"},
-		"bad dlb":            {"-dlb", "nope"},
-		"dlb cross param":    {"-dlb", "drom:factor=2"},
-		"watermark too high": {"-admission-watermark", "1.5"},
-		"watermark negative": {"-admission-watermark", "-0.1"},
-		"bad metrics addr":   {"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:999999"},
+		"unknown flag":           {"-nope"},
+		"unexpected args":        {"extra"},
+		"bad peer url":           {"-peers", "not-a-url"},
+		"listener error":         {"-addr", "127.0.0.1:999999"},
+		"bad dlb":                {"-dlb", "nope"},
+		"dlb cross param":        {"-dlb", "drom:factor=2"},
+		"watermark too high":     {"-admission-watermark", "1.5"},
+		"watermark negative":     {"-admission-watermark", "-0.1"},
+		"bad metrics addr":       {"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:999999"},
+		"join without advertise": {"-join", "http://c:8080"},
+		"advertise without join": {"-advertise", "http://w:8081"},
 	}
 	for name, args := range cases {
 		if _, err := runCmd(t, ctx, args...); err == nil {
@@ -176,11 +181,110 @@ func TestRunMetricsListener(t *testing.T) {
 	}
 }
 
+// TestRunDynamicCoordinator: -coordinator boots with zero peers,
+// announces the join endpoint with its lease, and -store-dir creates
+// and announces the durable result store.
+func TestRunDynamicCoordinator(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	out, err := runCmd(t, ctx, "-addr", "127.0.0.1:0", "-coordinator",
+		"-lease", "10s", "-store-dir", dir, "-drain-timeout", "5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"durable result store in " + dir,
+		"accepting dynamic workers on POST /v1/fleet/join (lease 10s)",
+		"stopped",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if st, statErr := os.Stat(dir); statErr != nil || !st.IsDir() {
+		t.Errorf("store directory not created: %v", statErr)
+	}
+}
+
+// syncBuffer is a goroutine-safe output sink: the daemon's serve loop
+// and its heartbeat goroutine both write to stdout.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestRunWorkerJoinsAndLeavesFleet drives the worker side of dynamic
+// membership end to end: a daemon started with -join/-advertise
+// registers itself with a dynamic coordinator, and on shutdown
+// deregisters best-effort instead of waiting for lease expiry.
+func TestRunWorkerJoinsAndLeavesFleet(t *testing.T) {
+	fl, err := fleet.New(fleet.Options{Dynamic: true, LeaseTTL: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := serve.New(serve.Options{Workers: 1, Fleet: fl})
+	cts := httptest.NewServer(coord.Handler())
+	t.Cleanup(cts.Close)
+
+	const advertise = "http://127.0.0.1:7777"
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out, errOut syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0",
+			"-join", cts.URL, "-advertise", advertise, "-drain-timeout", "5s"}, &out, &errOut)
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(out.String(), "joined fleet at "+cts.URL+" as "+advertise+" (lease 30s)") {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never joined; stdout:\n%s\nstderr:\n%s", out.String(), errOut.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := fl.Workers(); len(got) != 1 || got[0] != advertise {
+		t.Fatalf("coordinator registry after join: %v", got)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// The shutdown leave is best-effort and may still be in flight when
+	// run returns.
+	deadline = time.Now().Add(5 * time.Second)
+	for len(fl.Workers()) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never deregistered on shutdown: %v", fl.Workers())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 func TestRunCoordinatorFlagsRequirePeers(t *testing.T) {
 	ctx := context.Background()
 	for name, args := range map[string][]string{
 		"shards-per-cell without peers": {"-shards-per-cell", "4"},
 		"probe-interval without peers":  {"-probe-interval", "1s"},
+		"lease without coordinator":     {"-lease", "10s"},
+		"store-dir without coordinator": {"-store-dir", "x"},
 	} {
 		if _, err := runCmd(t, ctx, args...); err == nil {
 			t.Errorf("%s: expected error", name)

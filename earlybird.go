@@ -252,6 +252,17 @@ type Fleet = fleet.Fleet
 // FleetOptions configures NewFleet.
 type FleetOptions = fleet.Options
 
+// FleetStore is the coordinator's durable content-addressed result
+// store: completed sweep cells persist to disk keyed by their resolved
+// execution spec and are re-served across coordinator restarts without
+// dispatching a single shard. Set it as FleetOptions.Store.
+type FleetStore = fleet.Store
+
+// OpenFleetStore opens (creating if needed) a durable result store
+// rooted at dir, logging skipped/corrupt records through the standard
+// logger.
+func OpenFleetStore(dir string) (*FleetStore, error) { return fleet.OpenStore(dir, nil) }
+
 // SweepRequest describes a scenario grid for Server sweeps and
 // FleetSweep: the cross product of applications, geometries,
 // significance levels and laggard thresholds.

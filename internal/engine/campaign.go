@@ -164,6 +164,14 @@ func (k SpecKey) Hash() uint64 {
 	return h
 }
 
+// StoreKey renders the hash as the fixed-width hex token the fleet's
+// durable result store uses for file names: content addressing on the
+// same routing key the scheduler uses, stable across processes and
+// coordinators for wire-expressible specs.
+func (k SpecKey) StoreKey() string {
+	return fmt.Sprintf("%016x", k.Hash())
+}
+
 // Result is the analysed outcome of one campaign spec.
 type Result struct {
 	// Index is the spec's position in Campaign.Specs.

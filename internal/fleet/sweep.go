@@ -38,10 +38,10 @@ func splitTrials(trials, k int) []shardRange {
 	return out
 }
 
-// cellHash resolves a sweep cell to its engine.SpecKey hash — the
-// scheduler's routing key. Equal cells (after defaulting) hash equally
-// on every coordinator.
-func cellHash(cell serve.SweepCell) (uint64, error) {
+// cellKey resolves a sweep cell to its engine.SpecKey — the scheduler's
+// routing key and the durable store's content address. Equal cells
+// (after defaulting) key equally on every coordinator.
+func cellKey(cell serve.SweepCell) (engine.SpecKey, error) {
 	sp := engine.Spec{
 		App:                 cell.App,
 		Geometry:            cell.Geometry,
@@ -51,9 +51,9 @@ func cellHash(cell serve.SweepCell) (uint64, error) {
 	}
 	resolved, err := sp.Resolve()
 	if err != nil {
-		return 0, err
+		return engine.SpecKey{}, err
 	}
-	return resolved.Key().Hash(), nil
+	return resolved.Key(), nil
 }
 
 // errorRow assembles a failed cell's row.
@@ -71,23 +71,33 @@ func errorRow(cell serve.SweepCell, err error) serve.SweepRow {
 
 // DispatchCell implements serve.FleetDispatcher: it shards one sweep
 // cell across the fleet's workers and merges the shard states into the
-// finished row. ok == false means no healthy worker could take some
-// shard — the caller (a coordinating server) should run the cell
-// locally; per-cell request errors (unknown app, bad geometry) come
-// back as error rows with ok == true, exactly as local execution would
-// report them.
+// finished row. A configured durable store is consulted first — before
+// even the health check, so a warm store answers with zero workers —
+// and fed on every merged cell. ok == false means no healthy worker
+// could take some shard — the caller (a coordinating server) should run
+// the cell locally; per-cell request errors (unknown app, bad geometry)
+// come back as error rows with ok == true, exactly as local execution
+// would report them.
 func (f *Fleet) DispatchCell(ctx context.Context, cell serve.SweepCell) (serve.SweepRow, bool) {
-	if f.Healthy() == 0 {
-		return serve.SweepRow{}, false
-	}
 	if err := cell.Geometry.Validate(); err != nil {
 		f.cellsFailed.Add(1)
 		return errorRow(cell, err), true
 	}
-	hash, err := cellHash(cell)
+	key, err := cellKey(cell)
 	if err != nil {
 		f.cellsFailed.Add(1)
 		return errorRow(cell, err), true
+	}
+	hash := key.Hash()
+	if f.store != nil {
+		if row, ok := f.store.LoadCell(cell, key); ok {
+			f.storeHits.Add(1)
+			return row, true
+		}
+		f.storeMisses.Add(1)
+	}
+	if f.Healthy() == 0 {
+		return serve.SweepRow{}, false
 	}
 
 	shards := f.opts.ShardsPerCell
@@ -172,6 +182,19 @@ func (f *Fleet) DispatchCell(ctx context.Context, cell serve.SweepCell) (serve.S
 		row.Streamed = row.Streamed || o.resp.Streamed
 		row.ShardWorkers = append(row.ShardWorkers, o.from.url)
 	}
+	if f.store != nil {
+		// Persist the merged (pre-finalize) states: the codecs are
+		// value-preserving, so a later load finalizes to a bit-identical
+		// row. A store write failure only costs durability — log and move
+		// on.
+		mstate, merr := macc.MarshalBinary()
+		tstate, terr := tacc.MarshalBinary()
+		if merr == nil && terr == nil {
+			if err := f.store.SaveCell(cell, key, mstate, tstate); err != nil {
+				f.store.logf("fleet: store: saving cell %s failed: %v", key.StoreKey(), err)
+			}
+		}
+	}
 	row.Metrics = macc.Finalize()
 	row.Table1 = tacc.Finalize()
 	row.Recommendation = core.ClassifyMetrics(row.Metrics)
@@ -194,7 +217,7 @@ func (f *Fleet) Sweep(ctx context.Context, req serve.SweepRequest, emit func(ser
 		row, ok := f.DispatchCell(ctx, cells[i])
 		if !ok {
 			f.cellsFailed.Add(1)
-			row = errorRow(cells[i], errNotPlaced{})
+			row = errorRow(cells[i], f.notPlaced(0, -1, nil))
 		}
 		mu.Lock()
 		emit(row)

@@ -1,0 +1,100 @@
+// Dynamic fleet membership: POST /v1/fleet/join registers (or renews) a
+// worker with a coordinating server's fleet and returns the lease it
+// must renew within; POST /v1/fleet/leave deregisters it immediately.
+// The endpoints exist on every server but answer 404 unless the server
+// carries a fleet whose implementation accepts membership changes (the
+// optional FleetMembership interface, implemented by internal/fleet for
+// dynamic fleets) — so pointing a worker's -join at a non-coordinator
+// fails loudly instead of silently dropping heartbeats.
+
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// FleetMembership is the optional dynamic-membership surface of a
+// FleetDispatcher. The serve layer type-asserts Options.Fleet against
+// it, so static fleets need no stub methods.
+type FleetMembership interface {
+	// Join registers or renews a worker and returns the lease duration
+	// it must renew within.
+	Join(url string, capacity float64) (time.Duration, error)
+	// Leave deregisters a worker, reporting whether it was registered.
+	Leave(url string) bool
+}
+
+// FleetJoinRequest is the /v1/fleet/join body: the worker's externally
+// reachable base URL and (optionally) its advertised capacity.
+type FleetJoinRequest struct {
+	URL      string  `json:"url"`
+	Capacity float64 `json:"capacity,omitempty"`
+}
+
+// FleetJoinResponse acknowledges a join: the lease the worker holds and
+// the fleet's resulting peer count.
+type FleetJoinResponse struct {
+	LeaseSec float64 `json:"lease_sec"`
+	Peers    int     `json:"peers"`
+}
+
+// FleetLeaveResponse acknowledges a leave.
+type FleetLeaveResponse struct {
+	Removed bool `json:"removed"`
+	Peers   int  `json:"peers"`
+}
+
+// membership returns the fleet's membership surface, if it has one.
+func (s *Server) membership() (FleetMembership, bool) {
+	m, ok := s.opts.Fleet.(FleetMembership)
+	return m, ok && s.opts.Fleet != nil
+}
+
+func (s *Server) handleFleetJoin(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.membership()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("this server does not coordinate a dynamic fleet"))
+		return
+	}
+	var req FleetJoinRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.URL == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("join needs the worker's base url"))
+		return
+	}
+	lease, err := m.Join(req.URL, req.Capacity)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, FleetJoinResponse{
+		LeaseSec: lease.Seconds(),
+		Peers:    s.opts.Fleet.Snapshot().Peers,
+	})
+}
+
+func (s *Server) handleFleetLeave(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.membership()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("this server does not coordinate a dynamic fleet"))
+		return
+	}
+	var req FleetJoinRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.URL == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("leave needs the worker's base url"))
+		return
+	}
+	writeJSON(w, http.StatusOK, FleetLeaveResponse{
+		Removed: m.Leave(req.URL),
+		Peers:   s.opts.Fleet.Snapshot().Peers,
+	})
+}

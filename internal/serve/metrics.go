@@ -162,6 +162,13 @@ func (s *Server) promWriter(w http.ResponseWriter) *telemetry.PromWriter {
 		p.Counter("earlybird_fleet_cells_failed_total", "Cells that errored after exhausting every worker.", float64(snap.CellsFailed))
 		p.Counter("earlybird_fleet_shards_dispatched_total", "Shard and strategy-cell requests sent to workers.", float64(snap.ShardsDispatched))
 		p.Counter("earlybird_fleet_failovers_total", "Re-dispatches caused by worker failures.", float64(snap.Failovers))
+		p.Counter("earlybird_fleet_sheds_total", "503 + Retry-After refusals from worker adaptive admission (worker marked busy, not demoted).", float64(snap.Sheds))
+		p.Counter("earlybird_fleet_speculations_total", "Speculative backup attempts issued for slow in-flight shards.", float64(snap.Speculations))
+		p.Counter("earlybird_fleet_speculation_wins_total", "Speculative attempts that beat the original.", float64(snap.SpeculationWins))
+		p.Counter("earlybird_fleet_store_hits_total", "Sweep cells served from the durable result store.", float64(snap.StoreHits))
+		p.Counter("earlybird_fleet_store_misses_total", "Durable-store lookups that missed.", float64(snap.StoreMisses))
+		p.Counter("earlybird_fleet_joins_total", "Dynamic-membership joins and lease renewals.", float64(snap.Joins))
+		p.Counter("earlybird_fleet_lease_evictions_total", "Workers deregistered by membership lease expiry.", float64(snap.LeaseEvictions))
 		p.GaugeVec("earlybird_fleet_worker_healthy", "1 while the worker is considered healthy, by worker URL.")
 		for _, ws := range snap.Workers {
 			p.Sample("earlybird_fleet_worker_healthy", b2f(ws.Healthy), "url", ws.URL)
@@ -177,6 +184,14 @@ func (s *Server) promWriter(w http.ResponseWriter) *telemetry.PromWriter {
 		p.CounterVec("earlybird_fleet_worker_failures_total", "Shard requests the worker failed.")
 		for _, ws := range snap.Workers {
 			p.Sample("earlybird_fleet_worker_failures_total", float64(ws.Failures), "url", ws.URL)
+		}
+		p.GaugeVec("earlybird_fleet_worker_busy", "1 while the worker is inside a shed Retry-After window (skipped, not demoted).")
+		for _, ws := range snap.Workers {
+			p.Sample("earlybird_fleet_worker_busy", b2f(ws.Busy), "url", ws.URL)
+		}
+		p.CounterVec("earlybird_fleet_worker_sheds_total", "503 + Retry-After refusals, by worker URL.")
+		for _, ws := range snap.Workers {
+			p.Sample("earlybird_fleet_worker_sheds_total", float64(ws.Sheds), "url", ws.URL)
 		}
 	}
 	return p

@@ -193,6 +193,8 @@ func New(opts Options) *Server {
 	s.route("POST", "/v1/sweep", s.handleSweep)
 	s.route("POST", "/v1/shard", s.handleShard)
 	s.route("POST", "/v1/strategies", s.handleStrategies)
+	s.route("POST", "/v1/fleet/join", s.handleFleetJoin)
+	s.route("POST", "/v1/fleet/leave", s.handleFleetLeave)
 	s.route("GET", "/v1/stats", s.handleStats)
 	s.route("GET", "/v1/healthz", s.handleHealthz)
 	s.route("GET", "/v1/progress", s.handleProgress)

@@ -216,7 +216,10 @@ func (s *Server) runShard(req ShardRequest) (ShardResponse, error) {
 
 // handleShard answers POST /v1/shard: one cell's trial-range accumulator
 // state, for a fleet coordinator to merge. Execution takes a slot of the
-// server-wide semaphore like any other study-shaped work.
+// server-wide semaphore like any other study-shaped work, and adaptive
+// admission gates it the same way: a worker below its efficiency
+// watermark sheds the shard with 503 + Retry-After, which the
+// coordinator's scheduler reads as busy-until-deadline — never as death.
 func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	var req ShardRequest
 	if err := decodeBody(w, r, &req); err != nil {
@@ -226,6 +229,10 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	resolved, err := req.resolve()
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if err := s.admit(); err != nil {
+		writeStudyError(w, err)
 		return
 	}
 	release := s.acquire()

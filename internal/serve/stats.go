@@ -128,6 +128,25 @@ type FleetSnapshot struct {
 	// re-dispatches caused by a worker failure.
 	ShardsDispatched int64 `json:"shards_dispatched"`
 	Failovers        int64 `json:"failovers"`
+	// Sheds counts 503 + Retry-After refusals from worker adaptive
+	// admission: the worker was marked busy until its Retry-After, never
+	// demoted.
+	Sheds int64 `json:"sheds"`
+	// Speculations counts backup attempts issued for shards whose
+	// in-flight duration crossed the speculation quantile;
+	// SpeculationWins counts the backups that beat the original.
+	Speculations    int64 `json:"speculations"`
+	SpeculationWins int64 `json:"speculation_wins"`
+	// StoreHits / StoreMisses count durable-store lookups (0/0 when no
+	// store is configured): a hit serves the merged row from disk
+	// without dispatching any shard.
+	StoreHits   int64 `json:"store_hits"`
+	StoreMisses int64 `json:"store_misses"`
+	// Joins counts dynamic-membership registrations (first joins and
+	// lease renewals); LeaseEvictions counts workers deregistered by
+	// lease expiry.
+	Joins          int64 `json:"joins"`
+	LeaseEvictions int64 `json:"lease_evictions"`
 	// Workers is the per-worker registry view.
 	Workers []FleetWorkerSnapshot `json:"workers"`
 }
@@ -144,6 +163,15 @@ type FleetWorkerSnapshot struct {
 	// Failures counts requests it failed (transport errors and 5xx).
 	Shards   int64 `json:"shards"`
 	Failures int64 `json:"failures"`
+	// Sheds counts 503 + Retry-After refusals from this worker; while
+	// Busy the scheduler skips it (for BusyForSec more seconds) without
+	// demoting it.
+	Sheds      int64   `json:"sheds"`
+	Busy       bool    `json:"busy,omitempty"`
+	BusyForSec float64 `json:"busy_for_sec,omitempty"`
+	// LeaseSec is the remaining membership lease of a dynamically joined
+	// worker (omitted for static peers, which never expire).
+	LeaseSec float64 `json:"lease_sec,omitempty"`
 }
 
 // StudySourceStats counts study answers by source.

@@ -63,6 +63,9 @@ type SweepRow struct {
 	// shard order). Empty for locally computed rows.
 	Shards       int      `json:"shards,omitempty"`
 	ShardWorkers []string `json:"shard_workers,omitempty"`
+	// StoreHit reports the row was served from the coordinator's durable
+	// result store — no shard was dispatched or executed for it.
+	StoreHit bool `json:"store_hit,omitempty"`
 }
 
 // SweepCell is one expanded cell of a sweep grid: the unit the sweep

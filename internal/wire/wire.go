@@ -11,6 +11,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"earlybird/internal/fnv"
 )
 
 // Writer appends fixed-width little-endian values to Buf.
@@ -118,4 +120,28 @@ func (r *Reader) Finish(what string) error {
 		return fmt.Errorf("wire: %d trailing bytes after %s state", len(r.buf), what)
 	}
 	return nil
+}
+
+// Seal appends an FNV-1a checksum of everything written so far and
+// returns the finished buffer. Durable encodings (the fleet's on-disk
+// result store) end with it, so Unseal can reject bit rot and torn
+// writes before any field decodes.
+func (w *Writer) Seal() []byte {
+	w.U64(fnv.Bytes(fnv.Offset64, w.Buf))
+	return w.Buf
+}
+
+// Unseal verifies and strips a Seal checksum, returning the payload a
+// Reader can decode. Any truncation or mutation of a sealed buffer
+// fails here with a checksum mismatch.
+func Unseal(data []byte) ([]byte, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("wire: sealed payload too short (%d bytes)", len(data))
+	}
+	body := data[:len(data)-8]
+	want := binary.LittleEndian.Uint64(data[len(data)-8:])
+	if got := fnv.Bytes(fnv.Offset64, body); got != want {
+		return nil, fmt.Errorf("wire: checksum mismatch (stored %016x, computed %016x)", want, got)
+	}
+	return body, nil
 }
