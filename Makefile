@@ -9,7 +9,7 @@ GO ?= go
 # climbs, never lower it).
 COVER_FLOOR ?= 80.0
 
-.PHONY: all build test race race-fleet test-chaos test-scripts bench bench-json bench-gate bench-baseline profile lint fmt docs-check cover fuzz-smoke clean-store
+.PHONY: all build test race race-fleet test-chaos test-scenario test-scripts bench bench-json bench-gate bench-baseline profile lint fmt docs-check cover fuzz-smoke clean-store
 
 all: build lint docs-check test
 
@@ -40,6 +40,16 @@ race-fleet:
 test-chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestCapacity|TestWeighted|TestSetCapacity|TestShed|TestPlain503|TestStore|TestJoin|TestLease|TestDynamic' ./internal/fleet
 	$(GO) test -race -count=1 -run 'TestProgressSink' ./internal/cluster
+
+# The scenario compiler suite, uncached: parser/compiler round-trips,
+# the coverage-verifier property test (compiled campaigns cover exactly
+# the declared cross-product), the golden compiled-campaign plan for
+# examples/scenarios/quick.yaml (refresh after an intentional plan
+# change with `go test ./internal/scenario -run Golden -update`), and
+# the /v1/scenario + CLI + fleet federation paths end to end.
+test-scenario:
+	$(GO) test -count=1 ./internal/scenario
+	$(GO) test -count=1 -run 'Scenario|DispatchStudy' ./internal/serve ./internal/fleet ./cmd/earlybird
 
 # Drop the durable result store a local coordinator accumulated
 # (override STORE_DIR to match your -store-dir).

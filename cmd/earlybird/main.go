@@ -15,6 +15,7 @@
 //	earlybird -app minife -remote http://localhost:8080   # ask a running earlybirdd
 //	earlybird -app miniqmc -strategies                    # full strategy-grid optimizer
 //	earlybird -app minife -fleet http://h1:8080,http://h2:8080   # federate across workers
+//	earlybird -scenario examples/scenarios/quick.yaml            # declarative campaign
 //
 // With -remote the assessment is requested from a running earlybirdd
 // study service (POST /v1/feasibility) instead of computed in-process,
@@ -32,6 +33,15 @@
 // /v1/shard and merge client-side into results provably equal to
 // single-node execution. -fleet -strategies dispatches strategy cells
 // whole to their rendezvous workers instead.
+//
+// With -scenario the study flags are replaced by a declarative scenario
+// file (internal/scenario): sources x geometries x noise x dlb x
+// fabrics x timeouts compile to an engine campaign whose coverage of
+// the declared cross-product is verified before anything runs.
+// -scenario-check stops after printing the verified plan; -remote sends
+// the scenario (traces inlined) to POST /v1/scenario; -fleet dispatches
+// wire-expressible cells whole to their rendezvous workers and runs the
+// rest locally, bit-identical either way.
 package main
 
 import (
@@ -44,15 +54,19 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"slices"
+	"sync"
 
 	"earlybird/internal/cliopts"
 	"earlybird/internal/cluster"
 	"earlybird/internal/core"
 	"earlybird/internal/dlb"
+	"earlybird/internal/engine"
 	"earlybird/internal/fleet"
 	"earlybird/internal/network"
 	"earlybird/internal/partcomm"
+	"earlybird/internal/scenario"
 	"earlybird/internal/serve"
 	"earlybird/internal/trace"
 )
@@ -80,6 +94,8 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 		iters      = fs.Int("iters", 60, "iterations when running a built-in app")
 		latencyUs  = fs.Float64("latency-us", 1.0, "fabric latency (us)")
 		bwGBs      = fs.Float64("bandwidth-gbs", 12.5, "fabric bandwidth (GB/s)")
+		scenFile   = fs.String("scenario", "", "scenario file (YAML or JSON): compile the declared cross-product into a campaign, verify coverage, and run every cell")
+		scenCheck  = fs.Bool("scenario-check", false, "with -scenario: compile and verify only; print the campaign plan without running it")
 		remote     = fs.String("remote", "", "base URL of a running earlybirdd (assess via the service instead of in-process)")
 		fleetCSV   = fs.String("fleet", "", "comma-separated earlybirdd worker URLs: federate the study across them (shards merged client-side)")
 		storeDir   = fs.String("store-dir", "", "durable result store directory for -fleet: merged cells persist there and repeat runs are served from disk")
@@ -96,6 +112,32 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if *scenCheck && *scenFile == "" {
+		return fmt.Errorf("-scenario-check requires -scenario")
+	}
+	if *scenFile != "" {
+		// The scenario file declares every axis a study flag would set;
+		// accepting both would silently drop one side.
+		for _, name := range []string{"app", "in", "strategies", "geometry", "dlb", "trials", "iters",
+			"bin-timeout-ms", "part-bytes", "latency-us", "bandwidth-gbs"} {
+			if set[name] {
+				return fmt.Errorf("-%s conflicts with -scenario: the scenario file declares the campaign", name)
+			}
+		}
+		if *storeDir != "" {
+			return fmt.Errorf("-store-dir does not apply to -scenario: scenario cells dispatch over /v1/study, whose results live in the workers' caches")
+		}
+		switch {
+		case *remote != "" && *fleetCSV != "":
+			return fmt.Errorf("-remote and -fleet are mutually exclusive: a fleet is a set of remotes")
+		case *fleetCSV != "":
+			return runFleetScenario(stdout, *fleetCSV, *scenFile, *scenCheck)
+		case *remote != "":
+			return runRemoteScenario(stdout, *remote, *scenFile, *scenCheck)
+		}
+		return runScenario(stdout, *scenFile, *scenCheck)
+	}
 
 	// The geometry the study runs at: -geometry (shared syntax), or the
 	// legacy -trials/-iters sizing flags around the CLI's 8x48 shape.
@@ -372,6 +414,188 @@ func runRemote(w io.Writer, base string, o cli) error {
 	}
 	fmt.Fprintf(w, "served by %s (%s)\n", base, fr.Source)
 	fmt.Fprint(w, fr.Assessment)
+	return nil
+}
+
+// compileScenarioFile reads a scenario, compiles it (trace paths
+// resolved relative to the file) and proves coverage, printing the
+// campaign plan — the shared preamble of every -scenario path.
+func compileScenarioFile(w io.Writer, path string) (*scenario.Compiled, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := scenario.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	c, err := spec.Compile(scenario.CompileOptions{BaseDir: filepath.Dir(path)})
+	if err != nil {
+		return nil, err
+	}
+	cov, err := c.Verify()
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprint(w, c.Plan())
+	fmt.Fprintf(w, "coverage verified: %d cells cover the declared cross-product exactly (%d unique studies)\n",
+		cov.Cells, cov.UniqueSpecs)
+	return c, nil
+}
+
+// assessmentLine condenses one cell's verdict to a result line.
+func assessmentLine(a core.Assessment) string {
+	return fmt.Sprintf("%-28s  laggards %5.1f%%  iqr/median %6.3f  overlap %8.3f ms",
+		a.Recommendation, 100*a.LaggardFraction, a.IQRToMedian, 1e3*a.PotentialOverlapSec)
+}
+
+// runScenario compiles, verifies and runs a scenario in-process: the
+// compiled cells execute as one engine campaign (identical cells share
+// one execution through the campaign's dedup).
+func runScenario(w io.Writer, path string, check bool) error {
+	c, err := compileScenarioFile(w, path)
+	if err != nil {
+		return err
+	}
+	if check {
+		return nil
+	}
+	eng := engine.New(0)
+	results, err := eng.Run(engine.Campaign{Specs: c.EngineSpecs()})
+	if err != nil {
+		return err
+	}
+	for i, r := range results {
+		fmt.Fprintf(w, "%3d  %s\n", c.Cells[i].Index, assessmentLine(r.Assessment))
+	}
+	return nil
+}
+
+// runFleetScenario federates a scenario: wire-expressible cells (bare
+// app specs — no noise wrapper, no dataset) dispatch whole to their
+// rendezvous workers over /v1/study; the rest run on a local engine.
+// Both paths execute the same resolved specs deterministically, so the
+// merged output is bit-identical to running everything locally.
+func runFleetScenario(w io.Writer, peersCSV, path string, check bool) error {
+	c, err := compileScenarioFile(w, path)
+	if err != nil {
+		return err
+	}
+	if check {
+		return nil
+	}
+	fl, err := fleet.New(fleet.Options{Peers: fleet.SplitPeers(peersCSV)})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if healthy := fl.Probe(ctx); healthy == 0 {
+		return fmt.Errorf("no healthy workers among %v", fl.Workers())
+	}
+
+	eng := engine.New(0)
+	type outcome struct {
+		assessment core.Assessment
+		federated  bool
+		err        error
+	}
+	outcomes := make([]outcome, len(c.Cells))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, eng.Workers())
+	for i := range c.Cells {
+		// Wire-expressibility reads the compiled (pre-resolution) spec:
+		// Resolve fills Model in for bare apps too.
+		wire := c.Cells[i].Spec.Model == nil && c.Cells[i].Spec.Dataset == nil && c.Cells[i].Spec.App != ""
+		resolved, err := c.Cells[i].Spec.Resolve()
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(i int, resolved engine.Spec, wire bool) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if wire {
+				if resp, ok := fl.DispatchStudy(ctx, resolved.Key().Hash(), serve.WireStudySpec(resolved)); ok {
+					outcomes[i] = outcome{assessment: resp.Assessment, federated: true}
+					return
+				}
+			}
+			r, err := eng.RunSpec(resolved)
+			outcomes[i] = outcome{assessment: r.Assessment, err: err}
+		}(i, resolved, wire)
+	}
+	wg.Wait()
+
+	federated := 0
+	for i, o := range outcomes {
+		if o.err != nil {
+			return fmt.Errorf("cell %d: %w", i, o.err)
+		}
+		where := "local"
+		if o.federated {
+			where = "fleet"
+			federated++
+		}
+		fmt.Fprintf(w, "%3d  %-5s  %s\n", c.Cells[i].Index, where, assessmentLine(o.assessment))
+	}
+	fmt.Fprintf(w, "federated %d/%d cells over %d healthy workers\n", federated, len(c.Cells), fl.Healthy())
+	return nil
+}
+
+// runRemoteScenario sends the scenario to a running earlybirdd
+// (POST /v1/scenario), with path-backed trace sources inlined first —
+// server-side file paths do not travel over the wire. Compilation,
+// verification and coalesced execution all happen service-side.
+func runRemoteScenario(w io.Writer, base, path string, check bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	spec, err := scenario.Parse(data)
+	if err != nil {
+		return err
+	}
+	doc, err := spec.Wire(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(serve.ScenarioRequest{Scenario: string(doc), Check: check})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/scenario", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("service returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var sr serve.ScenarioResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "scenario %s compiled server-side by %s: %d cells (%d unique studies)\n",
+		sr.Name, base, sr.Cells, sr.UniqueSpecs)
+	if check {
+		fmt.Fprint(w, sr.Plan)
+		return nil
+	}
+	for _, row := range sr.Rows {
+		if row.Err != "" {
+			return fmt.Errorf("cell %d: %s", row.Index, row.Err)
+		}
+		where := string(row.Source)
+		if row.Federated {
+			where = "fleet"
+		}
+		fmt.Fprintf(w, "%3d  %-12s  %s\n", row.Index, where, assessmentLine(row.Assessment))
+	}
+	if sr.Failed > 0 {
+		return fmt.Errorf("%d cells failed", sr.Failed)
+	}
 	return nil
 }
 

@@ -8,6 +8,13 @@
 //	curl -s localhost:8080/v1/sweep -d '{"apps":["minife","miniqmc"],"alphas":[0.05,0.01]}'
 //	curl -s localhost:8080/v1/stats
 //
+// POST /v1/scenario accepts a whole declarative scenario document (the
+// same YAML or JSON `earlybird -scenario` reads; trace sources inlined
+// as CSV): the daemon compiles it, proves the campaign covers the
+// declared cross-product exactly, and runs every cell through the same
+// coalescing stack as /v1/study — federating wire-expressible cells
+// when serving as a coordinator.
+//
 // With -peers the daemon becomes a federation coordinator: sweep cells
 // fan out to the listed earlybirdd workers over /v1/shard (mergeable
 // accumulator state, results provably equal to single-node execution)

@@ -45,6 +45,14 @@
 // for every exact metric — see internal/fleet and the cmd/earlybirdd
 // -peers coordinator mode.
 //
+// Whole campaigns can be declared instead of assembled: ParseScenario
+// reads a YAML or JSON scenario — application or trace-replay sources
+// crossed with geometry, noise, DLB-policy, fabric and timeout axes —
+// and its Compile produces engine campaign cells whose exact coverage
+// of the declared cross-product Verify proves before anything runs.
+// cmd/earlybird -scenario and the service's POST /v1/scenario are the
+// packaged forms — see internal/scenario.
+//
 // The strategy lab extends the paper's Section 5 feasibility question:
 // Study.StrategySweep (and cmd/earlybird -strategies) evaluates a grid
 // of delivery strategies — including adaptive ones: EWMA-predicted
@@ -71,6 +79,7 @@ import (
 	"earlybird/internal/fleet"
 	"earlybird/internal/network"
 	"earlybird/internal/partcomm"
+	"earlybird/internal/scenario"
 	"earlybird/internal/serve"
 	"earlybird/internal/telemetry"
 	"earlybird/internal/trace"
@@ -323,3 +332,34 @@ func Serve(ctx context.Context, addr string, opts ServeOptions) error {
 	}
 	return nil
 }
+
+// Scenario is a declarative campaign: sources (application models or
+// trace replays) crossed with geometry, noise, DLB-policy, fabric and
+// timeout axes, compiled to engine campaign cells with a verifier that
+// proves the compiled campaign covers exactly the declared
+// cross-product. See internal/scenario for the file format.
+type Scenario = scenario.Spec
+
+// ScenarioSource is one workload of a scenario: a built-in application
+// model, a trace CSV on disk, or an inline trace CSV.
+type ScenarioSource = scenario.Source
+
+// CompiledScenario is the campaign a scenario compiles to; its Verify
+// proves coverage and its EngineSpecs feed RunCampaign or Engine.Run.
+type CompiledScenario = scenario.Compiled
+
+// ScenarioCell is one compiled campaign point: declared coordinates
+// plus the engine spec they compile to.
+type ScenarioCell = scenario.Cell
+
+// ScenarioCoverage is the verifier's accounting: cells checked, cells
+// per source, and unique studies after dedup.
+type ScenarioCoverage = scenario.Coverage
+
+// ScenarioCompileOptions parameterises scenario compilation (trace
+// loading, base directory for relative trace paths).
+type ScenarioCompileOptions = scenario.CompileOptions
+
+// ParseScenario reads a scenario document — YAML subset or JSON — into
+// a validated Scenario.
+func ParseScenario(data []byte) (*Scenario, error) { return scenario.Parse(data) }

@@ -74,37 +74,50 @@ func (v *GeometryValue) Set(s string) error {
 // Geometry registers the shared -geometry flag on fs.
 func Geometry(fs *flag.FlagSet) *GeometryValue {
 	v := &GeometryValue{}
-	fs.Var(v, "geometry", "study geometry: paper | quick | huge | TRIALSxRANKSxITERSxTHREADS (e.g. 3x4x60x48)")
+	fs.Var(v, "geometry", "study geometry: paper | quick | huge | TRIALSxRANKSxITERSxTHREADS, with an optional @SEED suffix (e.g. 3x4x60x48, paper@7)")
 	return v
 }
 
 // ParseGeometry reads the -geometry syntax: a named shape ("paper",
 // "quick", "huge") or an explicit TRIALSxRANKSxITERSxTHREADS product
-// like 3x4x60x48 (seed 1 — the seed is not part of the syntax; commands
-// that expose it keep their -seed flag).
+// like 3x4x60x48, optionally followed by @SEED ("paper@7",
+// "3x4x60x48@2"). Without the suffix the seed is 1, the named shapes'
+// default.
 func ParseGeometry(text string) (cluster.Config, error) {
 	text = strings.TrimSpace(text)
+	seed := uint64(1)
+	if base, suffix, ok := strings.Cut(text, "@"); ok {
+		n, err := strconv.ParseUint(strings.TrimSpace(suffix), 10, 64)
+		if err != nil {
+			return cluster.Config{}, fmt.Errorf("cliopts: geometry %q: bad seed %q", text, suffix)
+		}
+		seed = n
+		text = strings.TrimSpace(base)
+	}
+	var cfg cluster.Config
 	switch text {
 	case "paper":
-		return cluster.DefaultConfig(), nil
+		cfg = cluster.DefaultConfig()
 	case "quick":
-		return cluster.SmallConfig(), nil
+		cfg = cluster.SmallConfig()
 	case "huge":
-		return cluster.HugeConfig(), nil
-	}
-	parts := strings.Split(text, "x")
-	if len(parts) != 4 {
-		return cluster.Config{}, fmt.Errorf("cliopts: geometry %q: want paper, quick, huge or TRIALSxRANKSxITERSxTHREADS", text)
-	}
-	dims := make([]int, 4)
-	for i, p := range parts {
-		n, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return cluster.Config{}, fmt.Errorf("cliopts: geometry %q: bad dimension %q", text, p)
+		cfg = cluster.HugeConfig()
+	default:
+		parts := strings.Split(text, "x")
+		if len(parts) != 4 {
+			return cluster.Config{}, fmt.Errorf("cliopts: geometry %q: want paper, quick, huge or TRIALSxRANKSxITERSxTHREADS, optionally @SEED", text)
 		}
-		dims[i] = n
+		dims := make([]int, 4)
+		for i, p := range parts {
+			n, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return cluster.Config{}, fmt.Errorf("cliopts: geometry %q: bad dimension %q", text, p)
+			}
+			dims[i] = n
+		}
+		cfg = cluster.Config{Trials: dims[0], Ranks: dims[1], Iterations: dims[2], Threads: dims[3]}
 	}
-	cfg := cluster.Config{Trials: dims[0], Ranks: dims[1], Iterations: dims[2], Threads: dims[3], Seed: 1}
+	cfg.Seed = seed
 	if err := cfg.Validate(); err != nil {
 		return cluster.Config{}, err
 	}
@@ -112,17 +125,28 @@ func ParseGeometry(text string) (cluster.Config, error) {
 }
 
 // FormatGeometry renders cfg in ParseGeometry's syntax, preferring the
-// named shapes where they apply.
+// named shapes where the dimensions apply and appending @SEED for
+// non-default seeds — so a paper-shaped config with Seed 7 renders as
+// "paper@7" and the seed survives the ParseGeometry round trip instead
+// of being silently reset to 1.
 func FormatGeometry(cfg cluster.Config) string {
-	switch cfg {
+	dims := cfg
+	dims.Seed = 1
+	var base string
+	switch dims {
 	case cluster.DefaultConfig():
-		return "paper"
+		base = "paper"
 	case cluster.SmallConfig():
-		return "quick"
+		base = "quick"
 	case cluster.HugeConfig():
-		return "huge"
+		base = "huge"
+	default:
+		base = fmt.Sprintf("%dx%dx%dx%d", cfg.Trials, cfg.Ranks, cfg.Iterations, cfg.Threads)
 	}
-	return fmt.Sprintf("%dx%dx%dx%d", cfg.Trials, cfg.Ranks, cfg.Iterations, cfg.Threads)
+	if cfg.Seed != 1 {
+		return fmt.Sprintf("%s@%d", base, cfg.Seed)
+	}
+	return base
 }
 
 // DLBValue holds a -dlb selection, parsed and validated by dlb.Parse at

@@ -65,6 +65,15 @@ func TestGeometryFlag(t *testing.T) {
 		{"explicit", "3x4x60x48", cluster.Config{Trials: 3, Ranks: 4, Iterations: 60, Threads: 48, Seed: 1}, false},
 		{"explicit small", "1x2x8x16", cluster.Config{Trials: 1, Ranks: 2, Iterations: 8, Threads: 16, Seed: 1}, false},
 		{"whitespace", " quick ", cluster.SmallConfig(), false},
+		{"seeded paper", "paper@7", seeded(cluster.DefaultConfig(), 7), false},
+		{"seeded quick", "quick@2", seeded(cluster.SmallConfig(), 2), false},
+		{"seeded explicit", "3x4x60x48@9", cluster.Config{Trials: 3, Ranks: 4, Iterations: 60, Threads: 48, Seed: 9}, false},
+		{"explicit default seed suffix", "3x4x60x48@1", cluster.Config{Trials: 3, Ranks: 4, Iterations: 60, Threads: 48, Seed: 1}, false},
+		{"seeded whitespace", " paper @ 7 ", seeded(cluster.DefaultConfig(), 7), false},
+		{"bad seed", "paper@x", cluster.Config{}, true},
+		{"negative seed", "paper@-1", cluster.Config{}, true},
+		{"empty seed", "paper@", cluster.Config{}, true},
+		{"double seed", "paper@1@2", cluster.Config{}, true},
 		{"too few dims", "3x4x60", cluster.Config{}, true},
 		{"too many dims", "3x4x60x48x2", cluster.Config{}, true},
 		{"non-numeric", "ax4x60x48", cluster.Config{}, true},
@@ -114,16 +123,52 @@ func TestGeometryFlag(t *testing.T) {
 	}
 }
 
+// seeded returns cfg with its seed replaced.
+func seeded(cfg cluster.Config, seed uint64) cluster.Config {
+	cfg.Seed = seed
+	return cfg
+}
+
 func TestFormatGeometry(t *testing.T) {
 	cases := map[string]cluster.Config{
-		"paper":     cluster.DefaultConfig(),
-		"quick":     cluster.SmallConfig(),
-		"huge":      cluster.HugeConfig(),
-		"2x4x10x48": {Trials: 2, Ranks: 4, Iterations: 10, Threads: 48, Seed: 1},
+		"paper":       cluster.DefaultConfig(),
+		"quick":       cluster.SmallConfig(),
+		"huge":        cluster.HugeConfig(),
+		"2x4x10x48":   {Trials: 2, Ranks: 4, Iterations: 10, Threads: 48, Seed: 1},
+		"paper@7":     seeded(cluster.DefaultConfig(), 7),
+		"huge@3":      seeded(cluster.HugeConfig(), 3),
+		"2x4x10x48@9": {Trials: 2, Ranks: 4, Iterations: 10, Threads: 48, Seed: 9},
 	}
 	for want, cfg := range cases {
 		if got := FormatGeometry(cfg); got != want {
 			t.Errorf("FormatGeometry(%+v) = %q, want %q", cfg, got, want)
+		}
+	}
+}
+
+// TestFormatGeometrySeedRoundTrip is the regression test for the
+// seed-dropping bug: FormatGeometry matched the named shapes by full
+// struct equality, so a paper-shaped config with a non-default seed fell
+// through to the bare TxRxIxT form and ParseGeometry forced the seed
+// back to 1. Every config — named shape or explicit, any seed — must now
+// survive String() -> Set() unchanged.
+func TestFormatGeometrySeedRoundTrip(t *testing.T) {
+	cfgs := []cluster.Config{
+		cluster.DefaultConfig(),
+		seeded(cluster.DefaultConfig(), 7),
+		seeded(cluster.SmallConfig(), 42),
+		seeded(cluster.HugeConfig(), 2),
+		{Trials: 2, Ranks: 4, Iterations: 10, Threads: 48, Seed: 1},
+		{Trials: 2, Ranks: 4, Iterations: 10, Threads: 48, Seed: 12345},
+	}
+	for _, cfg := range cfgs {
+		v := &GeometryValue{Config: cfg, IsSet: true}
+		var back GeometryValue
+		if err := back.Set(v.String()); err != nil {
+			t.Fatalf("round trip of %+v via %q: %v", cfg, v.String(), err)
+		}
+		if back.Config != cfg {
+			t.Errorf("round trip of %q = %+v, want %+v (seed dropped?)", v.String(), back.Config, cfg)
 		}
 	}
 }

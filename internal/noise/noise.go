@@ -88,6 +88,40 @@ func (c CoreSlowdown) Perturb(s *rng.Source, base time.Duration) time.Duration {
 	return base
 }
 
+// Burst models correlated interference: noise arrives in bursts (a
+// co-scheduled batch job, a page-cache writeback storm, a network
+// interrupt flood) rather than as independent point events. Bursts start
+// at rate RatePerSec per second of compute; each lasts an exponentially
+// distributed time with mean MeanDuration, and while one overlaps the
+// region the core runs Factor times slower for the overlapped stretch.
+// The burst length is clamped to the region, so the model degrades to
+// RandomInterrupt-like point costs only when MeanDuration << base — for
+// comparable magnitudes it produces the heavy, correlated tail that
+// independent-interrupt models cannot (the run of consecutive slow
+// threads the paper's laggard plots show).
+type Burst struct {
+	RatePerSec   float64       // burst arrivals per second of compute
+	MeanDuration time.Duration // mean burst length (exponential)
+	Factor       float64       // slowdown while a burst is active, > 1
+}
+
+// Perturb implements Model.
+func (b Burst) Perturb(s *rng.Source, base time.Duration) time.Duration {
+	if b.RatePerSec <= 0 || b.MeanDuration <= 0 || b.Factor <= 1 {
+		return base
+	}
+	n := s.Poisson(b.RatePerSec * base.Seconds())
+	extra := time.Duration(0)
+	for i := 0; i < n; i++ {
+		overlap := time.Duration(s.Exp(float64(b.MeanDuration)))
+		if overlap > base {
+			overlap = base
+		}
+		extra += time.Duration(float64(overlap) * (b.Factor - 1))
+	}
+	return base + extra
+}
+
 // Stack applies each model in order, feeding the output of one into the
 // next.
 type Stack []Model

@@ -90,6 +90,75 @@ func TestCoreSlowdownProbability(t *testing.T) {
 	}
 }
 
+func TestBurstMeanAndClamp(t *testing.T) {
+	s := rng.New(9)
+	// ~2 bursts per region of 20ms, each ~5ms at 3x: expected extra
+	// ≈ 2 x 5ms x (3-1) = 20ms (slightly less from the clamp).
+	b := Burst{RatePerSec: 100, MeanDuration: 5 * time.Millisecond, Factor: 3}
+	base := 20 * time.Millisecond
+	sum := time.Duration(0)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		got := b.Perturb(s, base)
+		if got < base {
+			t.Fatalf("burst shortened compute: %v < %v", got, base)
+		}
+		// One burst can at most double the overlapped region per
+		// (Factor-1); with the clamp a single burst adds <= base*(Factor-1).
+		sum += got - base
+	}
+	mean := sum / n
+	if mean < 12*time.Millisecond || mean > 24*time.Millisecond {
+		t.Errorf("mean extra = %v, want ~17-20ms", mean)
+	}
+}
+
+// TestBurstCorrelation pins what makes Burst different from
+// RandomInterrupt at matched expected cost: bursts concentrate the same
+// total interference into far fewer, far larger events, so the
+// per-region extra has a much heavier tail (higher variance).
+func TestBurstCorrelation(t *testing.T) {
+	base := 20 * time.Millisecond
+	// Matched expected extra ~2ms per region:
+	// interrupts: 40 events x 50us; bursts: 0.2 events x 5ms x (3-1).
+	ri := RandomInterrupt{Rate: 2000, MeanCost: 50 * time.Microsecond}
+	bu := Burst{RatePerSec: 10, MeanDuration: 5 * time.Millisecond, Factor: 3}
+	const n = 6000
+	varOf := func(perturb func(*rng.Source, time.Duration) time.Duration, seed uint64) (mean, variance float64) {
+		s := rng.New(seed)
+		var sum, sumsq float64
+		for i := 0; i < n; i++ {
+			x := (perturb(s, base) - base).Seconds()
+			sum += x
+			sumsq += x * x
+		}
+		mean = sum / n
+		return mean, sumsq/n - mean*mean
+	}
+	mi, vi := varOf(ri.Perturb, 10)
+	mb, vb := varOf(bu.Perturb, 11)
+	if mi < 1e-3 || mi > 3e-3 || mb < 1e-3 || mb > 3e-3 {
+		t.Fatalf("means not matched: interrupt %v, burst %v (want ~2ms each)", mi, mb)
+	}
+	if vb < 10*vi {
+		t.Errorf("burst variance %v not >> interrupt variance %v at matched mean", vb, vi)
+	}
+}
+
+func TestBurstDisabledConfigs(t *testing.T) {
+	s := rng.New(12)
+	base := time.Millisecond
+	for _, b := range []Burst{
+		{RatePerSec: 0, MeanDuration: time.Millisecond, Factor: 2},
+		{RatePerSec: 10, MeanDuration: 0, Factor: 2},
+		{RatePerSec: 10, MeanDuration: time.Millisecond, Factor: 1},
+	} {
+		if got := b.Perturb(s, base); got != base {
+			t.Errorf("disabled burst %+v perturbed: %v", b, got)
+		}
+	}
+}
+
 func TestStackComposes(t *testing.T) {
 	s := rng.New(6)
 	st := Stack{

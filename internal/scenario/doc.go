@@ -1,0 +1,28 @@
+// Package scenario is the declarative front end of the study stack: a
+// small spec (YAML or JSON) declaring what to study — workload or
+// trace-replay sources, a geometry grid, noise models, network fabrics,
+// DLB policies, delivery timeouts — compiled into the engine's campaign
+// form, with a verifier proving the compiled campaign covers exactly the
+// declared cross-product.
+//
+// The shape follows Mars 2.0 (see PAPERS.md): models are declared,
+// verified, and compiled rather than hand-wired. A scenario is data, so
+// the same file drives the CLI (earlybird -scenario), the service
+// (POST /v1/scenario) and federated fleet execution, and the verifier —
+// not the author — is what guarantees the campaign has no holes and no
+// duplicates (the same ethos as the fleet's merge-exactness property
+// tests).
+//
+// Coverage contract. The declared cross-product is per source kind:
+//
+//   - an application source crosses geometries x noise x dlb x
+//     fabrics x bin timeouts;
+//   - a trace-replay source is a pre-collected dataset, so the
+//     geometry, noise and dlb axes do not apply: it crosses
+//     fabrics x bin timeouts only.
+//
+// Verify recomputes that expected set from the spec by an independent
+// enumeration and checks the compiled cells cover it bijectively,
+// cross-checking each cell's engine spec (model name, geometry,
+// flattened fabric, timeout, policy) against its declared coordinates.
+package scenario

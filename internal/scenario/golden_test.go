@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from the current output")
+
+// exampleDir is the checked-in example scenarios, relative to this
+// package's directory (the test working directory).
+const exampleDir = "../../examples/scenarios"
+
+// TestExampleScenarioGolden compiles the checked-in example scenario and
+// pins its campaign plan byte-for-byte: the compiler's expansion order
+// is deterministic, so any drift in ordering, canonicalisation or the
+// coverage contract shows up as a golden diff. Regenerate with
+//
+//	go test ./internal/scenario -run ExampleScenarioGolden -update
+//
+// after an intentional change. The test doubles as validation that the
+// example in examples/scenarios/ stays parseable and verifiable.
+func TestExampleScenarioGolden(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join(exampleDir, "quick.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := spec.Compile(CompileOptions{BaseDir: exampleDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := []byte(c.Plan())
+	path := filepath.Join("testdata", "quick_plan.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("compiled plan diverged from %s.\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}

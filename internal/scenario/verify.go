@@ -1,0 +1,193 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"earlybird/internal/cliopts"
+)
+
+// Coverage is the verifier's accounting: the expected cross-product size
+// per source plus the totals it checked.
+type Coverage struct {
+	// Cells is the number of compiled cells, equal to the expected
+	// cross-product size when Verify succeeds.
+	Cells int
+	// Sources maps each source key to its expected cell count.
+	Sources map[string]int
+	// UniqueSpecs counts distinct engine SpecKeys across the campaign —
+	// the number of executions after dedup. It can be smaller than Cells
+	// when declared coordinates collapse (e.g. two fabrics whose
+	// hierarchical flattening coincides at every declared geometry);
+	// coverage of the declared product is still exact.
+	UniqueSpecs int
+}
+
+// Verify proves the compiled campaign covers exactly the declared
+// cross-product: every expected coordinate appears in exactly one cell
+// (no holes, no duplicates, nothing undeclared), and each cell's engine
+// spec matches its declared coordinates (right model name, geometry,
+// flattened fabric, policy and timeout). The expected set is enumerated
+// independently of the compiler — different loop nesting, coordinates
+// recomputed from the spec — so a compiler bug cannot hide by erring
+// identically on both sides of the comparison.
+func (c *Compiled) Verify() (Coverage, error) {
+	cov := Coverage{Sources: map[string]int{}}
+	if c.Spec == nil {
+		return cov, fmt.Errorf("scenario: compiled campaign has no spec")
+	}
+	if err := c.Spec.Validate(); err != nil {
+		return cov, err
+	}
+
+	// Expected coordinates, enumerated axis-minor to cell-major's
+	// opposite: timeouts outermost, sources innermost.
+	geoms, noises, dlbs, fabrics, timeouts := c.Spec.axes()
+	expected := map[string]bool{}
+	addExpected := func(key string) error {
+		if expected[key] {
+			return fmt.Errorf("scenario: declared product self-collides on %s", key)
+		}
+		expected[key] = true
+		return nil
+	}
+	for _, t := range timeouts {
+		for _, f := range fabrics {
+			for si, src := range c.Spec.Sources {
+				if !src.IsApp() {
+					key := strings.Join([]string{src.key(si), "-", "-", "-", f.String(), fnum(t)}, " | ")
+					if err := addExpected(key); err != nil {
+						return cov, err
+					}
+					cov.Sources[src.key(si)]++
+					continue
+				}
+				for _, d := range dlbs {
+					for _, n := range noises {
+						for _, g := range geoms {
+							key := strings.Join([]string{
+								src.key(si), cliopts.FormatGeometry(g), n.String(), d.String(), f.String(), fnum(t),
+							}, " | ")
+							if err := addExpected(key); err != nil {
+								return cov, err
+							}
+							cov.Sources[src.key(si)]++
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Observed cells: each must claim exactly one expected coordinate,
+	// and its engine spec must agree with that coordinate.
+	seen := map[string]int{}
+	unique := map[string]bool{}
+	for i, cell := range c.Cells {
+		if cell.Index != i {
+			return cov, fmt.Errorf("scenario: cell %d carries index %d", i, cell.Index)
+		}
+		key := cell.coord()
+		if prev, dup := seen[key]; dup {
+			return cov, fmt.Errorf("scenario: cells %d and %d both cover %s", prev, i, key)
+		}
+		seen[key] = i
+		if !expected[key] {
+			return cov, fmt.Errorf("scenario: cell %d covers undeclared point %s", i, key)
+		}
+		if err := c.checkCell(cell); err != nil {
+			return cov, fmt.Errorf("scenario: cell %d (%s): %w", i, key, err)
+		}
+		resolved, err := cell.Spec.Resolve()
+		if err != nil {
+			return cov, fmt.Errorf("scenario: cell %d (%s) does not resolve: %w", i, key, err)
+		}
+		unique[resolved.Key().StoreKey()] = true
+	}
+	if len(seen) != len(expected) {
+		var missing []string
+		for key := range expected {
+			if _, ok := seen[key]; !ok {
+				missing = append(missing, key)
+			}
+		}
+		sort.Strings(missing)
+		return cov, fmt.Errorf("scenario: %d declared points uncovered, first: %s", len(missing), missing[0])
+	}
+	cov.Cells = len(c.Cells)
+	cov.UniqueSpecs = len(unique)
+	return cov, nil
+}
+
+// checkCell cross-checks one cell's engine spec against its declared
+// coordinates, recomputing each expectation from the declaration rather
+// than trusting the compiler's arithmetic.
+func (c *Compiled) checkCell(cell Cell) error {
+	// Re-parse the declared fabric and timeout from their canonical
+	// strings: the declaration of record is the coordinate, not the
+	// FabricSpec the compiler happened to hold.
+	fab, err := ParseFabric(cell.Fabric)
+	if err != nil {
+		return fmt.Errorf("fabric coordinate does not re-parse: %w", err)
+	}
+	if cell.Spec.BinTimeoutSec != cell.BinTimeoutSec {
+		return fmt.Errorf("spec timeout %g != declared %g", cell.Spec.BinTimeoutSec, cell.BinTimeoutSec)
+	}
+	if cell.Spec.Alpha != c.Spec.Alpha || cell.Spec.LaggardThresholdSec != c.Spec.LaggardThresholdSec || cell.Spec.BytesPerPartition != c.Spec.BytesPerPartition {
+		return fmt.Errorf("analysis parameters differ from the scenario's")
+	}
+
+	if !cell.Source.IsApp() {
+		if cell.Spec.Dataset == nil {
+			return fmt.Errorf("trace cell has no dataset")
+		}
+		if cell.Spec.Model != nil || cell.Spec.App != "" {
+			return fmt.Errorf("trace cell also sets a model")
+		}
+		if want := fab.Effective(cell.Spec.Dataset.Ranks); cell.Spec.Fabric != want {
+			return fmt.Errorf("fabric %+v != declared effective %+v", cell.Spec.Fabric, want)
+		}
+		if cell.Geometry != "" || cell.Noise != "" || cell.DLB != "" {
+			return fmt.Errorf("trace cell declares app-only axes")
+		}
+		return nil
+	}
+
+	geom, err := cliopts.ParseGeometry(cell.Geometry)
+	if err != nil {
+		return fmt.Errorf("geometry coordinate does not re-parse: %w", err)
+	}
+	if cell.Spec.Geometry != geom {
+		return fmt.Errorf("spec geometry %+v != declared %+v", cell.Spec.Geometry, geom)
+	}
+	if want := fab.Effective(geom.Ranks); cell.Spec.Fabric != want {
+		return fmt.Errorf("fabric %+v != declared effective %+v", cell.Spec.Fabric, want)
+	}
+	noiseSpec, err := ParseNoise(cell.Noise)
+	if err != nil {
+		return fmt.Errorf("noise coordinate does not re-parse: %w", err)
+	}
+	if cell.Spec.DLB.String() != cell.DLB {
+		return fmt.Errorf("spec policy %s != declared %s", cell.Spec.DLB.String(), cell.DLB)
+	}
+	if cell.Spec.Dataset != nil {
+		return fmt.Errorf("app cell carries a dataset")
+	}
+	if noiseSpec.IsNone() {
+		if cell.Spec.App != cell.Source.App || cell.Spec.Model != nil {
+			return fmt.Errorf("noiseless app cell must name %q and stay wire-expressible", cell.Source.App)
+		}
+		return nil
+	}
+	// Noisy cells wrap the base model; the name encodes the noise
+	// canonically so distinct parameterisations never share a cache key.
+	if cell.Spec.Model == nil {
+		return fmt.Errorf("noisy cell has no model")
+	}
+	want := cell.Source.App + "+" + noiseSpec.String()
+	if got := cell.Spec.Model.Name(); got != want {
+		return fmt.Errorf("model name %q != %q", got, want)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWireRoundTrip pins the -remote contract: Wire renders the JSON
+// document form Parse reads back, with canonical axis strings, so a
+// client-parsed scenario compiles to the same campaign server-side.
+func TestWireRoundTrip(t *testing.T) {
+	doc := []byte(`
+name: round-trip
+description: wire form
+sources: [minife, miniqmc]
+geometries: [2x4x10x8, 1x2x5x4@7]
+noise: [none, "burst:rate=2,mean-ms=5,factor=3"]
+dlb: [static, lewi]
+fabrics: [omnipath, "hier:ranks-per-node=2,congestion=1.5"]
+bin_timeouts_ms: [1, 0.5]
+alpha: 0.01
+laggard_ms: 2
+part_bytes: 65536
+`)
+	spec, err := Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := spec.Wire("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, err := Parse(wire)
+	if err != nil {
+		t.Fatalf("parsing wire form: %v\n%s", err, wire)
+	}
+
+	c1, err := spec.Compile(CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := spec2.Compile(CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Plan() != c2.Plan() {
+		t.Errorf("wire round trip changed the campaign:\n--- original ---\n%s--- round-tripped ---\n%s", c1.Plan(), c2.Plan())
+	}
+	if _, err := c2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWireInlinesTracePaths pins that Wire reads path-backed trace
+// sources (relative to the scenario's directory) into inline CSV — the
+// only trace form /v1/scenario accepts.
+func TestWireInlinesTracePaths(t *testing.T) {
+	dir := t.TempDir()
+	csv := testTrace(t, "captured", 2)
+	if err := os.WriteFile(filepath.Join(dir, "cap.csv"), []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec := &Spec{Name: "inline", Sources: []Source{{Trace: "cap.csv"}}}
+	wire, err := spec.Wire(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, err := Parse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec2.Sources) != 1 || spec2.Sources[0].CSV != csv || spec2.Sources[0].Trace != "" {
+		t.Fatalf("wire form did not inline the trace: %+v", spec2.Sources)
+	}
+
+	spec.Sources[0].Trace = "missing.csv"
+	if _, err := spec.Wire(dir); err == nil {
+		t.Fatal("Wire accepted a missing trace file")
+	}
+}

@@ -1,0 +1,271 @@
+package scenario
+
+// A hand-rolled parser for the YAML subset scenario files use: nested
+// mappings, block sequences, inline [a, b] flow lists, double- or
+// single-quoted scalars and # comments. The container ships no YAML
+// dependency and the subset a scenario needs is small enough that a
+// strict, line-oriented parser is clearer than a vendored grammar —
+// anything outside the subset fails loudly with a line number. JSON
+// scenarios bypass this entirely (Parse detects them by first byte).
+
+import (
+	"fmt"
+	"strings"
+)
+
+// yline is one significant line of the document.
+type yline struct {
+	indent int
+	text   string
+	num    int // 1-based line number, for errors
+}
+
+// yparser walks the significant lines recursively.
+type yparser struct {
+	lines []yline
+	i     int
+}
+
+// parseYAML parses the scenario YAML subset into nested
+// map[string]any / []any / string values.
+func parseYAML(data []byte) (any, error) {
+	lines, err := ylines(string(data))
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("scenario: empty document")
+	}
+	p := &yparser{lines: lines}
+	v, err := p.block(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.i < len(p.lines) {
+		l := p.lines[p.i]
+		return nil, fmt.Errorf("scenario: line %d: unexpected indentation", l.num)
+	}
+	return v, nil
+}
+
+// ylines splits the document into significant lines: comments stripped,
+// blanks dropped, indentation measured (spaces only).
+func ylines(doc string) ([]yline, error) {
+	var out []yline
+	for num, raw := range strings.Split(doc, "\n") {
+		line := stripComment(raw)
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		indent := 0
+		for _, r := range line {
+			if r == ' ' {
+				indent++
+				continue
+			}
+			if r == '\t' {
+				return nil, fmt.Errorf("scenario: line %d: tab in indentation (use spaces)", num+1)
+			}
+			break
+		}
+		out = append(out, yline{indent: indent, text: trimmed, num: num + 1})
+	}
+	return out, nil
+}
+
+// stripComment removes a # comment that starts outside quotes at the
+// beginning of the line or after whitespace.
+func stripComment(line string) string {
+	var quote rune
+	for i, r := range line {
+		switch {
+		case quote != 0:
+			if r == quote {
+				quote = 0
+			}
+		case r == '"' || r == '\'':
+			quote = r
+		case r == '#' && (i == 0 || line[i-1] == ' ' || line[i-1] == '\t'):
+			return line[:i]
+		}
+	}
+	return line
+}
+
+// block parses the mapping or sequence starting at the current line,
+// whose indent must be >= min.
+func (p *yparser) block(min int) (any, error) {
+	if p.i >= len(p.lines) {
+		return nil, fmt.Errorf("scenario: unexpected end of document")
+	}
+	first := p.lines[p.i]
+	if first.indent < min {
+		return nil, fmt.Errorf("scenario: line %d: expected a nested block", first.num)
+	}
+	if strings.HasPrefix(first.text, "- ") || first.text == "-" {
+		return p.sequence(first.indent)
+	}
+	return p.mapping(first.indent)
+}
+
+// mapping parses consecutive "key: value" lines at exactly indent base.
+func (p *yparser) mapping(base int) (map[string]any, error) {
+	m := map[string]any{}
+	for p.i < len(p.lines) {
+		l := p.lines[p.i]
+		if l.indent < base {
+			break
+		}
+		if l.indent > base {
+			return nil, fmt.Errorf("scenario: line %d: unexpected indentation", l.num)
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return nil, fmt.Errorf("scenario: line %d: sequence item inside a mapping", l.num)
+		}
+		key, rest, ok := strings.Cut(l.text, ":")
+		if !ok {
+			return nil, fmt.Errorf("scenario: line %d: expected key: value", l.num)
+		}
+		key = strings.TrimSpace(unquote(key))
+		if key == "" {
+			return nil, fmt.Errorf("scenario: line %d: empty key", l.num)
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("scenario: line %d: duplicate key %q", l.num, key)
+		}
+		rest = strings.TrimSpace(rest)
+		p.i++
+		if rest != "" {
+			m[key] = scalar(rest)
+			continue
+		}
+		// Block value: nested lines indented deeper; nothing means null.
+		if p.i < len(p.lines) && p.lines[p.i].indent > base {
+			v, err := p.block(base + 1)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		} else {
+			m[key] = nil
+		}
+	}
+	return m, nil
+}
+
+// sequence parses consecutive "- item" lines at exactly indent base.
+func (p *yparser) sequence(base int) ([]any, error) {
+	var seq []any
+	for p.i < len(p.lines) {
+		l := p.lines[p.i]
+		if l.indent != base || (l.text != "-" && !strings.HasPrefix(l.text, "- ")) {
+			if l.indent > base {
+				return nil, fmt.Errorf("scenario: line %d: unexpected indentation", l.num)
+			}
+			break
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(l.text, "-"))
+		if rest == "" {
+			// "-" alone: the item is the deeper-indented block below.
+			p.i++
+			v, err := p.block(base + 1)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+			continue
+		}
+		if _, _, isMap := cutMappingKey(rest); isMap {
+			// "- key: value": the item is a mapping whose first entry sits
+			// on the dash line. Reposition the line at the key's column so
+			// the mapping parser picks it and any continuation lines up.
+			restIndent := base + (len(l.text) - len(rest))
+			p.lines[p.i] = yline{indent: restIndent, text: rest, num: l.num}
+			v, err := p.mapping(restIndent)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+			continue
+		}
+		p.i++
+		seq = append(seq, scalar(rest))
+	}
+	return seq, nil
+}
+
+// cutMappingKey reports whether text starts a mapping entry ("key:" or
+// "key: value") rather than being a plain scalar like "3x4x60x48" or a
+// quoted string.
+func cutMappingKey(text string) (key, rest string, ok bool) {
+	if strings.HasPrefix(text, `"`) || strings.HasPrefix(text, "'") || strings.HasPrefix(text, "[") {
+		return "", "", false
+	}
+	key, rest, found := strings.Cut(text, ":")
+	if !found {
+		return "", "", false
+	}
+	// A mapping key is a bare word; "flat:latency-us=..." is a scalar.
+	if rest != "" && !strings.HasPrefix(rest, " ") {
+		return "", "", false
+	}
+	return key, strings.TrimSpace(rest), true
+}
+
+// scalar interprets one scalar: an inline [a, b] list or a string
+// (quotes stripped). Numbers stay strings — the spec decoder coerces.
+func scalar(text string) any {
+	if strings.HasPrefix(text, "[") && strings.HasSuffix(text, "]") {
+		inner := strings.TrimSpace(text[1 : len(text)-1])
+		if inner == "" {
+			return []any{}
+		}
+		parts := splitFlow(inner)
+		out := make([]any, len(parts))
+		for i, part := range parts {
+			out[i] = unquote(strings.TrimSpace(part))
+		}
+		return out
+	}
+	return unquote(text)
+}
+
+// splitFlow splits an inline list body on commas outside quotes.
+func splitFlow(s string) []string {
+	var (
+		parts []string
+		cur   strings.Builder
+		quote rune
+	)
+	for _, r := range s {
+		switch {
+		case quote != 0:
+			if r == quote {
+				quote = 0
+			}
+			cur.WriteRune(r)
+		case r == '"' || r == '\'':
+			quote = r
+			cur.WriteRune(r)
+		case r == ',':
+			parts = append(parts, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	parts = append(parts, cur.String())
+	return parts
+}
+
+// unquote strips one level of matching single or double quotes.
+func unquote(s string) string {
+	s = strings.TrimSpace(s)
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			return s[1 : len(s)-1]
+		}
+	}
+	return s
+}

@@ -1,0 +1,154 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseYAMLBasics(t *testing.T) {
+	doc := `
+# a scenario
+name: demo
+description: "quoted: with a colon"
+sources:
+  - app: minife
+  - minimd        # bare scalar item
+  - trace: runs/a.csv
+geometries: [quick, 3x4x60x48@7]
+noise:
+  - none
+  - burst:rate=2,mean-ms=5,factor=3
+alpha: 0.01
+`
+	got, err := parseYAML([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"name":        "demo",
+		"description": "quoted: with a colon",
+		"sources": []any{
+			map[string]any{"app": "minife"},
+			"minimd",
+			map[string]any{"trace": "runs/a.csv"},
+		},
+		"geometries": []any{"quick", "3x4x60x48@7"},
+		"noise":      []any{"none", "burst:rate=2,mean-ms=5,factor=3"},
+		"alpha":      "0.01",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parse mismatch:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestParseYAMLNestedSequenceItems(t *testing.T) {
+	doc := `
+items:
+  - app: minife
+    extra: "1"
+  -
+    app: minimd
+`
+	got, err := parseYAML([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{"items": []any{
+		map[string]any{"app": "minife", "extra": "1"},
+		map[string]any{"app": "minimd"},
+	}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parse mismatch:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestParseYAMLScalarShapes(t *testing.T) {
+	// Axis-entry scalars contain colons without a space; they must stay
+	// scalars, not become nested mappings.
+	doc := `
+fabrics:
+  - flat:latency-us=1,gbs=12.5
+  - "omnipath"
+empty: []
+quoted: 'single # not a comment'
+`
+	got, err := parseYAML([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"fabrics": []any{"flat:latency-us=1,gbs=12.5", "omnipath"},
+		"empty":   []any{},
+		"quoted":  "single # not a comment",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parse mismatch:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := map[string]string{
+		"tab indent":         "name: x\n\tbad: y",
+		"duplicate key":      "a: 1\na: 2",
+		"bare text":          "just some text with no colon",
+		"dash in mapping":    "a: 1\n- item",
+		"deeper under value": "a: 1\n    b: 2",
+		"empty doc":          "# only a comment\n",
+	}
+	for name, doc := range cases {
+		if _, err := parseYAML([]byte(doc)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+func TestParseDetectsJSON(t *testing.T) {
+	spec, err := Parse([]byte(`  {"name": "j", "sources": [{"app": "minife"}], "alpha": 0.01}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "j" || len(spec.Sources) != 1 || spec.Sources[0].App != "minife" || spec.Alpha != 0.01 {
+		t.Fatalf("JSON spec decoded wrong: %+v", spec)
+	}
+	if _, err := Parse([]byte(`{"name": "j", "sources": [{"app": "minife"}], "nope": 1}`)); err == nil || !strings.Contains(err.Error(), "unknown key") {
+		t.Fatalf("unknown JSON key not rejected: %v", err)
+	}
+}
+
+func TestParseYAMLAndJSONAgree(t *testing.T) {
+	yaml := `
+name: agree
+sources:
+  - app: minife
+geometries: [quick]
+noise: [none, "burst:rate=2,mean-ms=5,factor=3"]
+dlb: [static, lewi]
+bin_timeouts_ms: [1, 5]
+alpha: 0.01
+laggard_ms: 2
+part_bytes: 65536
+`
+	jsonDoc := `{
+  "name": "agree",
+  "sources": [{"app": "minife"}],
+  "geometries": ["quick"],
+  "noise": ["none", "burst:rate=2,mean-ms=5,factor=3"],
+  "dlb": ["static", "lewi"],
+  "bin_timeouts_ms": [1, 5],
+  "alpha": 0.01,
+  "laggard_ms": 2,
+  "part_bytes": 65536
+}`
+	a, err := Parse([]byte(yaml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse([]byte(jsonDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("YAML and JSON disagree:\nyaml %+v\njson %+v", a, b)
+	}
+}

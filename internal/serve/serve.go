@@ -193,6 +193,7 @@ func New(opts Options) *Server {
 	s.route("POST", "/v1/sweep", s.handleSweep)
 	s.route("POST", "/v1/shard", s.handleShard)
 	s.route("POST", "/v1/strategies", s.handleStrategies)
+	s.route("POST", "/v1/scenario", s.handleScenario)
 	s.route("POST", "/v1/fleet/join", s.handleFleetJoin)
 	s.route("POST", "/v1/fleet/leave", s.handleFleetLeave)
 	s.route("GET", "/v1/stats", s.handleStats)
@@ -370,6 +371,15 @@ func (s *Server) runStudy(wire StudySpec) (engine.Result, Source, error) {
 			"geometry has %d samples, over the study limit %d; use /v1/sweep, whose streaming path is bounded-memory at any size",
 			n, s.maxStudySamples)
 	}
+	return s.runResolved(resolved)
+}
+
+// runResolved answers one already-resolved spec through the coalescing
+// stack — the shared tail of /v1/study, /v1/feasibility, /v1/campaign
+// and /v1/scenario cells. Dataset-backed specs coalesce too: their key
+// includes the dataset's identity, so cells of one compiled scenario
+// that collapse to the same study share a single execution.
+func (s *Server) runResolved(resolved engine.Spec) (engine.Result, Source, error) {
 	res, src := s.co.do(resolved.Key(), func() (engine.Result, bool) {
 		// Adaptive admission gates the execution, not the lookup: cache
 		// hits and joins to in-flight executions cost no fill capacity

@@ -12,7 +12,14 @@ import (
 // app,trial,rank,iteration,thread,compute_seconds — streaming rows from a
 // cursor through a buffered writer: memory stays O(1) in the dataset size
 // and no intermediate string of the whole table is ever built.
+//
+// App names containing CSV metacharacters (comma, quote, newline) are
+// rejected: the writer emits the name unquoted, so such a name would
+// produce a file ReadCSV rejects with a misleading field-count error.
 func (d *Dataset) WriteCSV(w io.Writer) error {
+	if strings.ContainsAny(d.App, ",\"\n\r") {
+		return fmt.Errorf("trace: app name %q contains CSV metacharacters (comma, quote or newline); rename the dataset before exporting", d.App)
+	}
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.WriteString("app,trial,rank,iteration,thread,compute_seconds\n"); err != nil {
 		return err
@@ -64,6 +71,7 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 	var (
 		rows    []row
 		app     string
+		appSeen bool // first data row consumed; "" is a valid app, not a sentinel
 		maxT    = -1
 		maxR    = -1
 		maxI    = -1
@@ -80,8 +88,8 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		if len(fields) != 6 {
 			return nil, fmt.Errorf("trace: line %d: %d fields", lineNum, len(fields))
 		}
-		if app == "" {
-			app = fields[0]
+		if !appSeen {
+			app, appSeen = fields[0], true
 		} else if fields[0] != app {
 			return nil, fmt.Errorf("trace: line %d: mixed apps %q and %q", lineNum, app, fields[0])
 		}

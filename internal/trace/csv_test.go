@@ -54,6 +54,123 @@ func TestReadCSVErrors(t *testing.T) {
 	}
 }
 
+// TestReadCSVEmptyAppNotASentinel is the regression test for the
+// empty-app sentinel bug: ReadCSV used app == "" as its "no row seen
+// yet" marker, so a CSV whose first data row had an empty app field
+// silently accepted a different app on later rows instead of erroring.
+func TestReadCSVEmptyAppNotASentinel(t *testing.T) {
+	mixed := "app,trial,rank,iteration,thread,compute_seconds\n" +
+		",0,0,0,0,1\n" + // empty app on the first row
+		"md,0,0,0,1,1\n" // a different app on the second
+	if _, err := ReadCSV(strings.NewReader(mixed)); err == nil {
+		t.Fatal("mixed apps after an empty first-row app were accepted")
+	} else if !strings.Contains(err.Error(), "mixed apps") {
+		t.Fatalf("wrong error: %v", err)
+	}
+
+	// A consistently empty app is a valid (if odd) dataset, not an error.
+	uniform := "app,trial,rank,iteration,thread,compute_seconds\n" +
+		",0,0,0,0,1\n" +
+		",0,0,0,1,2\n"
+	d, err := ReadCSV(strings.NewReader(uniform))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.App != "" || d.Threads != 2 {
+		t.Fatalf("got app %q geometry %+v", d.App, d)
+	}
+}
+
+// TestWriteCSVRejectsUnescapableApp is the regression test for the
+// unescaped-app bug: WriteCSV emitted d.App verbatim, so an app name
+// containing a comma or newline produced a corrupt file that ReadCSV
+// rejected with a misleading "n fields" error. Such names now fail at
+// write time with an error that names the app.
+func TestWriteCSVRejectsUnescapableApp(t *testing.T) {
+	for _, app := range []string{"fe,md", "fe\nmd", "fe\rmd", `fe"md`} {
+		d := NewDataset(app, 1, 1, 1, 2)
+		var buf bytes.Buffer
+		err := d.WriteCSV(&buf)
+		if err == nil {
+			t.Errorf("app %q: corrupt CSV written without error", app)
+			continue
+		}
+		if !strings.Contains(err.Error(), "metacharacters") {
+			t.Errorf("app %q: wrong error: %v", app, err)
+		}
+		if buf.Len() != 0 {
+			t.Errorf("app %q: partial output written before the rejection", app)
+		}
+	}
+
+	// Round trip of an app name that is unusual but CSV-safe still works.
+	d := NewDataset("fe md+noise:burst", 1, 1, 1, 2)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.App != d.App {
+		t.Fatalf("app %q round-tripped as %q", d.App, back.App)
+	}
+}
+
+// TestReadCSVEdgeCases is the table the scenario compiler's trace-replay
+// import leans on: sparse indices, duplicate cells, a huge single line
+// and geometry inference from out-of-order rows.
+func TestReadCSVEdgeCases(t *testing.T) {
+	const header = "app,trial,rank,iteration,thread,compute_seconds\n"
+	t.Run("sparse indices leave holes", func(t *testing.T) {
+		// Max thread index 2 implies 3 threads per cell; only one row
+		// present — every other cell is a hole.
+		csv := header + "fe,0,0,0,2,1\n"
+		_, err := ReadCSV(strings.NewReader(csv))
+		if err == nil || !strings.Contains(err.Error(), "missing cell") {
+			t.Fatalf("sparse CSV accepted: %v", err)
+		}
+	})
+	t.Run("duplicate cell named in error", func(t *testing.T) {
+		csv := header + "fe,0,0,0,0,1\nfe,0,0,0,1,1\nfe,0,0,0,1,2\n"
+		_, err := ReadCSV(strings.NewReader(csv))
+		if err == nil || !strings.Contains(err.Error(), "duplicate cell (0,0,0,1)") {
+			t.Fatalf("duplicate not reported: %v", err)
+		}
+	})
+	t.Run("out-of-order rows reconstruct", func(t *testing.T) {
+		csv := header +
+			"fe,1,0,0,0,4\n" +
+			"fe,0,0,0,1,2\n" +
+			"fe,1,0,0,1,5\n" +
+			"fe,0,0,0,0,1\n"
+		d, err := ReadCSV(strings.NewReader(csv))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Trials != 2 || d.Threads != 2 || d.Times[1][0][0][1] != 5 || d.Times[0][0][0][0] != 1 {
+			t.Fatalf("reconstruction wrong: %+v", d.Times)
+		}
+	})
+	t.Run("huge line within buffer parses", func(t *testing.T) {
+		// One value with ~500 KB of significant-looking digits still fits
+		// the scanner's 1 MiB line buffer.
+		long := "0." + strings.Repeat("1", 500_000)
+		csv := header + "fe,0,0,0,0," + long + "\n"
+		if _, err := ReadCSV(strings.NewReader(csv)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("line over buffer errors", func(t *testing.T) {
+		long := "0." + strings.Repeat("1", 2_000_000)
+		csv := header + "fe,0,0,0,0," + long + "\n"
+		if _, err := ReadCSV(strings.NewReader(csv)); err == nil {
+			t.Fatal("2 MB line slid through a 1 MiB scanner buffer")
+		}
+	})
+}
+
 func TestReadCSVSkipsBlankLines(t *testing.T) {
 	csv := "app,trial,rank,iteration,thread,compute_seconds\nfe,0,0,0,0,0.5\n\n"
 	d, err := ReadCSV(strings.NewReader(csv))

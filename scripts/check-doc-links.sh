@@ -23,4 +23,19 @@ done
 if [ "$status" -eq 0 ]; then
 	echo "check-doc-links: all $(echo "$refs" | wc -l | tr -d ' ') referenced docs exist"
 fi
+[ "$status" -eq 0 ] || exit $status
+
+# The README's scenario quickstart points at examples/scenarios/: keep
+# every checked-in example compiling, coverage-verified, and its trace
+# references resolvable (-scenario-check compiles and proves coverage
+# without running a cell).
+for scen in examples/scenarios/*.yaml; do
+	if ! go run ./cmd/earlybird -scenario "$scen" -scenario-check >/dev/null; then
+		echo "check-doc-links: example scenario $scen failed to compile/verify" >&2
+		status=1
+	fi
+done
+if [ "$status" -eq 0 ]; then
+	echo "check-doc-links: all example scenarios compile and verify"
+fi
 exit $status
